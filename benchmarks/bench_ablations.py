@@ -1,0 +1,133 @@
+"""Design-choice ablations (DESIGN.md section 4 calls these out).
+
+Not paper tables — these quantify the trade-offs behind the design
+choices the paper leaves implicit:
+
+* full (capture/update/safe) WBR cell vs a light shift-only cell;
+* exact vs greedy wrapper-chain partitioning;
+* March algorithm choice at chip level (BIST time vs coverage);
+* word-oriented data backgrounds (cost of intra-word CF coverage).
+"""
+
+from benchmarks.conftest import paper_vs_ours
+from repro.bist import (
+    ALGORITHMS,
+    Brains,
+    BrainsConfig,
+    MARCH_C_MINUS,
+    MATS_PLUS,
+    simulate_coverage,
+    standard_backgrounds,
+    word_march_cycles,
+)
+from repro.soc.dsc import build_dsc_memories, build_usb_core
+from repro.util import Table
+from repro.wrapper import (
+    WBC_AREA,
+    WBC_LIGHT_AREA,
+    design_wrapper,
+    make_wbc_cell,
+    make_wbc_light_cell,
+)
+
+
+def test_wbc_cell_variants(benchmark):
+    """The 26-gate cell buys an update stage (stable core inputs while
+    shifting) and safe mode; the light cell saves ~30% area."""
+    full, light = benchmark(lambda: (make_wbc_cell("F"), make_wbc_light_cell("L")))
+    saving = 100 * (1 - light.area() / full.area())
+    print()
+    print(
+        paper_vs_ours(
+            "Ablation: WBR cell variants",
+            [
+                ("full cell (paper's 26 gates)", "26", f"{full.area():.1f}"),
+                ("light shift-only cell", "-", f"{light.area():.1f}"),
+                ("area saving", "-", f"{saving:.0f}%"),
+                ("update stage / safe mode", "yes", "light: no"),
+            ],
+        )
+    )
+    assert full.area() == WBC_AREA
+    assert light.area() == WBC_LIGHT_AREA
+    assert 20 <= saving <= 50
+
+
+def test_exact_vs_greedy_balancing(benchmark):
+    """USB's chains (1629, 78, 293, 45) are so lopsided that greedy is
+    already optimal at every width — the 1629 chain dominates; exact
+    search must agree (and does pay off on adversarial chain sets)."""
+    usb = build_usb_core()
+
+    def compare():
+        rows = []
+        for width in (1, 2, 3, 4):
+            greedy = design_wrapper(usb, width, exact=False)
+            exact = design_wrapper(usb, width, exact=True)
+            rows.append((width, greedy.scan_in_depth, exact.scan_in_depth))
+        return rows
+
+    rows = benchmark(compare)
+    table = Table(["Width", "Greedy si", "Exact si"], title="USB wrapper balancing")
+    for row in rows:
+        table.add_row(list(row))
+    print()
+    print(table.render())
+    for _, greedy_si, exact_si in rows:
+        assert exact_si <= greedy_si
+    assert rows[-1][1] == rows[-1][2] == 1629  # dominated by the long chain
+
+
+def test_march_choice_at_chip_level(benchmark):
+    """Algorithm choice sweeps total BIST time 5.5x while coverage moves
+    ~40 points: the trade BRAINS exists to let designers make."""
+
+    def sweep():
+        rows = []
+        for march in (MATS_PLUS, ALGORITHMS[3], MARCH_C_MINUS, ALGORITHMS[8]):
+            engine = Brains().compile(
+                build_dsc_memories(), BrainsConfig(march=march, power_budget=8.0)
+            )
+            coverage = simulate_coverage(march, size=10, coupling_pairs=8)
+            rows.append((march.name, march.complexity, engine.total_cycles,
+                         coverage.total_coverage))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = Table(
+        ["Algorithm", "Ops/cell", "DSC BIST cycles", "Coverage %"],
+        title="Ablation: March algorithm at chip level (22 SRAMs)",
+    )
+    for name, complexity, cycles, coverage in rows:
+        table.add_row([name, complexity, f"{cycles:,}", f"{coverage:.1f}"])
+    print()
+    print(table.render())
+    cycles = [r[2] for r in rows]
+    coverages = [r[3] for r in rows]
+    assert cycles == sorted(cycles)  # cost grows with complexity
+    assert coverages[2] > coverages[0]  # March C- beats MATS+
+
+
+def test_word_background_cost(benchmark):
+    """Backgrounds multiply test length by floor(log2 B)+1 — the price of
+    intra-word coupling coverage on word-oriented arrays."""
+
+    def tally():
+        rows = []
+        for bits in (8, 16, 32):
+            base = MARCH_C_MINUS.operation_count(1024)
+            word = word_march_cycles(MARCH_C_MINUS, 1024, bits)
+            rows.append((bits, len(standard_backgrounds(bits)), base, word))
+        return rows
+
+    rows = benchmark(tally)
+    table = Table(
+        ["Word bits", "Backgrounds", "Bit-oriented ops", "Word-oriented ops"],
+        title="Ablation: data-background cost (1K words, March C-)",
+    )
+    for row in rows:
+        table.add_row(list(row))
+    print()
+    print(table.render())
+    for bits, n_bg, base, word in rows:
+        assert word == base * n_bg

@@ -1,0 +1,90 @@
+"""E7 / Fig. 2 — the shared-controller memory BIST architecture.
+
+"The tester can access all the on-chip memories via a single shared
+BIST Controller, while one or more Sequencers can be used to generate
+March-based test algorithms.  Each TPG attached to the memory will
+translate the March-based test commands to the respective RAM signals."
+
+The benchmark compiles BIST for the DSC's 22 heterogeneous SRAMs and
+exercises exactly that structure: 1 controller, 1 sequencer, 22 TPGs,
+heterogeneous sizes sharing March phases.
+"""
+
+from benchmarks.conftest import paper_vs_ours
+from repro.bist import Brains, BrainsConfig, MARCH_C_MINUS, StuckAtFault, march_cycles
+from repro.soc.dsc import build_dsc_memories
+
+
+def _engine():
+    return Brains().compile(
+        build_dsc_memories(), BrainsConfig(march=MARCH_C_MINUS, power_budget=8.0)
+    )
+
+
+def test_compile_bist(benchmark):
+    engine = benchmark(_engine)
+    print()
+    print(engine.plan.render())
+    print()
+    print(engine.area_table().render())
+    print()
+    print(
+        paper_vs_ours(
+            "E7: Fig. 2 architecture",
+            [
+                ("BIST controllers", "1 (shared)", 1),
+                ("sequencers", ">= 1", len(engine.sequencer_modules)),
+                ("TPGs", "one per memory", len(engine.tpg_modules)),
+                ("memories", "tens (heterogeneous)", engine.plan.memory_count),
+            ],
+        )
+    )
+    assert len(engine.sequencer_modules) == 1
+    assert len(engine.tpg_modules) == 22
+    types = {m.mem_type.value for m in engine.specs}
+    assert types == {"SP", "TP"}
+
+
+def test_behavioral_run_fault_free(benchmark):
+    engine = _engine()
+    result = benchmark.pedantic(
+        lambda: engine.run(model_words=64), rounds=3, iterations=1
+    )
+    assert result.all_pass
+    assert result.total_cycles == engine.plan.total_cycles
+
+
+def test_behavioral_run_localizes_fault(benchmark):
+    engine = _engine()
+
+    def run():
+        return engine.run(faults={"jpgbuf2": StuckAtFault(9, 0)}, model_words=64)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.failing == ["jpgbuf2"]
+    print()
+    print(f"injected SAF0 in jpgbuf2 -> failing memories: {result.failing}")
+
+
+def test_grouping_speedup(benchmark):
+    """Concurrent groups vs serial memory-by-memory testing."""
+    engine = benchmark.pedantic(_engine, rounds=1, iterations=1)
+    plan = engine.plan
+    speedup = plan.serial_cycles / plan.total_cycles
+    print()
+    print(
+        paper_vs_ours(
+            "Grouped BIST vs serial",
+            [
+                ("serial cycles", "-", f"{plan.serial_cycles:,}"),
+                ("grouped cycles", "-", f"{plan.total_cycles:,}"),
+                ("speedup", "> 1 under power cap", f"{speedup:.2f}x"),
+            ],
+        )
+    )
+    assert speedup > 1.5
+    for group in plan.groups:
+        assert group.power <= 8.0 + 1e-9
+        assert group.cycles(MARCH_C_MINUS) == max(
+            march_cycles(MARCH_C_MINUS, m.words, m.is_two_port) for m in group.memories
+        )

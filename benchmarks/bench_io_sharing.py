@@ -1,0 +1,65 @@
+"""E3 / Section 3 — test-IO reduction by sharing.
+
+Paper: 19 dedicated control IOs for the three large cores; "with shared
+test IOs, the test control IO counts are reduced."  Our sharing policy:
+clock domains keep pins, resets share one, SEs share one, TEs move into
+the generated test controller (E4 pays the gates).
+"""
+
+from benchmarks.conftest import paper_vs_ours
+from repro.sched import SharingPolicy, control_pins, io_sharing_report, tasks_from_soc
+
+
+def _per_core_tasks(dsc_soc):
+    return list({t.core_name: t for t in tasks_from_soc(dsc_soc)}.values())
+
+
+def test_io_sharing_reduction(benchmark, dsc_soc):
+    tasks = _per_core_tasks(dsc_soc)
+    shared = benchmark(control_pins, tasks, SharingPolicy())
+    dedicated = control_pins(tasks, SharingPolicy.none())
+    print()
+    print(io_sharing_report(tasks).render())
+    print()
+    print(
+        paper_vs_ours(
+            "E3: control-IO sharing",
+            [
+                ("dedicated control IOs", 19, dedicated),
+                ("after sharing", "reduced", shared),
+                ("reduction", "-", f"-{dedicated - shared} pins"),
+            ],
+        )
+    )
+    assert dedicated == 19
+    assert shared < dedicated
+    assert shared == 8  # 6 clock domains + shared reset + shared SE
+
+
+def test_policy_knobs(benchmark, dsc_soc):
+    """Each sharing rule contributes a measurable reduction."""
+    tasks = _per_core_tasks(dsc_soc)
+
+    def sweep():
+        rows = []
+        for name, policy in (
+            ("none (dedicated)", SharingPolicy.none()),
+            ("share resets", SharingPolicy(True, False, False)),
+            ("+ share SEs", SharingPolicy(True, True, False)),
+            ("+ TEs from controller", SharingPolicy(True, True, True)),
+        ):
+            rows.append((name, control_pins(tasks, policy)))
+        return rows
+
+    rows = benchmark(sweep)
+    from repro.util import Table
+
+    table = Table(["Policy", "Control pins"], title="Sharing-policy ablation")
+    for row in rows:
+        table.add_row(list(row))
+    print()
+    print(table.render())
+    pins = [r[1] for r in rows]
+    assert pins[0] == 19
+    assert pins == sorted(pins, reverse=True)
+    assert pins[-1] == 8

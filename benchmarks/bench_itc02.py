@@ -1,0 +1,87 @@
+"""E11 (extension) — scheduling on the public ITC'02 d695 benchmark.
+
+The paper's platform is exercised on a proprietary chip; d695 is the
+standard public instance the TAM/scheduling literature quotes.  The
+benchmark sweeps pin budgets (figure-style series), validates the
+session heuristic against a MILP lower reference on a reduced instance,
+and times the heuristic at realistic sizes.
+"""
+
+import pytest
+
+from repro.sched import (
+    InfeasibleScheduleError,
+    schedule_nonsession,
+    schedule_serial,
+    schedule_sessions,
+    tasks_from_soc,
+)
+from repro.soc.itc02 import d695_soc
+from repro.util import Table, format_cycles
+
+
+def test_session_scheduler_speed_d695(benchmark):
+    soc = d695_soc(test_pins=48)
+    tasks = tasks_from_soc(soc)
+    result = benchmark(schedule_sessions, soc, tasks)
+    assert result.total_time > 0
+    print()
+    print(result.render())
+
+
+def test_pin_sweep_series(benchmark):
+    def sweep():
+        rows = []
+        for pins in (24, 32, 48, 64, 96):
+            soc = d695_soc(test_pins=pins)
+            tasks = tasks_from_soc(soc)
+            session = schedule_sessions(soc, tasks)
+            try:
+                nonsession = format_cycles(schedule_nonsession(soc, tasks).total_time)
+            except InfeasibleScheduleError:
+                nonsession = "infeasible"
+            serial = schedule_serial(soc, tasks)
+            rows.append(
+                (pins, session.total_time, session.session_count, nonsession,
+                 serial.total_time)
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = Table(
+        ["Pins", "Session", "#Sess", "Non-session", "Serial"],
+        title="E11: d695 test time vs pin budget",
+    )
+    for pins, session, k, nonsession, serial in rows:
+        table.add_row([pins, format_cycles(session), k, nonsession, format_cycles(serial)])
+    print()
+    print(table.render())
+    times = [r[1] for r in rows]
+    assert times == sorted(times, reverse=True)  # monotone in pins
+    assert times[0] > 2 * times[-1]  # wide TAM buys >2x on d695
+
+
+def test_ilp_validates_heuristic_small(benchmark):
+    """On a 5-core d695 subset the heuristic matches the MILP optimum
+    (or is within a few percent)."""
+    from repro.sched.ilp import schedule_ilp
+    from repro.soc import Soc
+    from repro.soc.itc02 import d695_modules, module_to_core
+
+    soc = Soc("d695_head", test_pins=32)
+    for module in d695_modules()[:5]:
+        soc.add_core(module_to_core(module))
+    tasks = tasks_from_soc(soc)
+
+    ilp = benchmark.pedantic(
+        lambda: schedule_ilp(soc, tasks, n_sessions=2, time_limit=60),
+        rounds=1,
+        iterations=1,
+    )
+    heuristic = schedule_sessions(soc, tasks, n_sessions=2)
+    gap = 100 * (heuristic.total_time / ilp.total_time - 1)
+    print()
+    print(f"ILP optimum {ilp.total_time:,} vs heuristic {heuristic.total_time:,} "
+          f"(gap {gap:.2f}%)")
+    assert ilp.total_time <= heuristic.total_time
+    assert gap < 10.0

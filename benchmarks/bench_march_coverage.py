@@ -1,0 +1,117 @@
+"""E10 — March algorithm fault-coverage vs cost (BRAINS's "evaluate the
+memory test efficiency among different designs easily").
+
+Reproduces the classical guarantees table (van de Goor) by exhaustive
+fault simulation on a small array — the results BRAINS users rely on
+when picking an algorithm: MATS+ covers SAF/AF only, March X adds
+TF/CFin, March C- covers all unlinked static faults but not SOF,
+MATS++/Y/B add SOF via read-after-write, retention variants add DRF.
+"""
+
+from benchmarks.conftest import paper_vs_ours
+from repro.bist import (
+    ALGORITHMS,
+    MARCH_C_MINUS,
+    coverage_table,
+    simulate_coverage,
+    with_retention,
+)
+
+SIZE = 12
+PAIRS = 12
+
+#: (algorithm, class) -> expected 100% guaranteed coverage
+GUARANTEES = {
+    ("MATS+", "SAF"): True,
+    ("MATS+", "AF"): True,
+    ("MATS+", "TF"): False,
+    ("March X", "TF"): True,
+    ("March X", "CFin"): True,
+    ("March X", "CFid"): False,
+    ("March C-", "SAF"): True,
+    ("March C-", "TF"): True,
+    ("March C-", "CFin"): True,
+    ("March C-", "CFid"): True,
+    ("March C-", "CFst"): True,
+    ("March C-", "AF"): True,
+    ("March C-", "SOF"): False,
+    ("MATS++", "SOF"): True,
+    ("March Y", "SOF"): True,
+    ("March B", "SOF"): True,
+}
+
+
+def test_coverage_table(benchmark):
+    table = benchmark.pedantic(
+        lambda: coverage_table(list(ALGORITHMS), size=SIZE, coupling_pairs=PAIRS),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(table.render())
+
+
+def test_classical_guarantees(benchmark):
+    def evaluate():
+        results = {}
+        for march in ALGORITHMS:
+            results[march.name] = simulate_coverage(
+                march, size=SIZE, coupling_pairs=PAIRS
+            )
+        return results
+
+    results = benchmark.pedantic(evaluate, rounds=1, iterations=1)
+    rows = []
+    for (name, cls), guaranteed in sorted(GUARANTEES.items()):
+        coverage = results[name].coverage(cls)
+        rows.append(
+            (f"{name} vs {cls}", "100%" if guaranteed else "<100%", f"{coverage:.0f}%")
+        )
+        if guaranteed:
+            assert coverage == 100.0, (name, cls)
+        else:
+            assert coverage < 100.0, (name, cls)
+    print()
+    print(paper_vs_ours("E10: classical March guarantees", rows))
+
+
+def test_retention_extension(benchmark):
+    """March C- + retention pauses reaches DRF; the base test cannot."""
+
+    def run():
+        base = simulate_coverage(MARCH_C_MINUS, size=SIZE, classes=("DRF",))
+        ret = simulate_coverage(with_retention(MARCH_C_MINUS), size=SIZE, classes=("DRF",))
+        return base, ret
+
+    base, ret = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(
+        paper_vs_ours(
+            "Retention variant (extension)",
+            [
+                ("March C- DRF coverage", "0%", f"{base.coverage('DRF'):.0f}%"),
+                ("March C- +ret DRF coverage", "100%", f"{ret.coverage('DRF'):.0f}%"),
+            ],
+        )
+    )
+    assert base.coverage("DRF") == 0.0
+    assert ret.coverage("DRF") == 100.0
+
+
+def test_cost_coverage_frontier(benchmark):
+    """More ops per cell buys coverage: total coverage is (weakly)
+    increasing along MATS -> MATS+ -> MATS++ and March X -> Y."""
+
+    def run():
+        return {
+            m.name: simulate_coverage(m, size=SIZE, coupling_pairs=PAIRS).total_coverage
+            for m in ALGORITHMS
+        }
+
+    totals = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert totals["MATS"] <= totals["MATS+"] <= totals["MATS++"]
+    assert totals["March X"] <= totals["March Y"]
+    assert totals["March C-"] >= totals["March Y"]
+    print()
+    print("cost/coverage frontier:",
+          {k: f"{v:.1f}%" for k, v in sorted(totals.items(), key=lambda kv: kv[1])})

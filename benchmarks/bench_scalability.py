@@ -1,0 +1,56 @@
+"""Scheduler scalability (figure-style series, extension).
+
+The paper integrates one chip; a platform must also scale.  This bench
+times the session scheduler on synthetic SOCs of growing size and checks
+the result quality stays sane (never worse than serial)."""
+
+from repro.bist import MARCH_C_MINUS, plan_bist
+from repro.sched import schedule_serial, schedule_sessions, tasks_from_soc
+from repro.soc.synth import synth_soc
+from repro.util import Table
+
+
+def _tasks(soc):
+    plan = plan_bist(soc.memories, MARCH_C_MINUS, power_budget=soc.power_budget)
+    return tasks_from_soc(soc) + plan.to_tasks()
+
+
+def test_schedule_8_cores(benchmark):
+    soc = synth_soc(n_cores=8, n_memories=6, test_pins=56, seed=3)
+    tasks = _tasks(soc)
+    result = benchmark(schedule_sessions, soc, tasks)
+    assert result.total_time > 0
+
+
+def test_schedule_16_cores(benchmark):
+    soc = synth_soc(n_cores=16, n_memories=10, test_pins=72, power_budget=16.0, seed=3)
+    tasks = _tasks(soc)
+    result = benchmark.pedantic(schedule_sessions, args=(soc, tasks), rounds=2, iterations=1)
+    assert result.total_time > 0
+
+
+def test_quality_vs_size(benchmark):
+    """Across sizes, session scheduling beats the serial baseline."""
+
+    def sweep():
+        rows = []
+        for n_cores, pins in ((4, 40), (8, 56), (12, 64), (16, 72)):
+            soc = synth_soc(n_cores=n_cores, n_memories=n_cores // 2,
+                            test_pins=pins, power_budget=16.0, seed=5)
+            tasks = _tasks(soc)
+            session = schedule_sessions(soc, tasks)
+            serial = schedule_serial(soc, tasks)
+            rows.append((n_cores, len(tasks), session.total_time, serial.total_time))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = Table(
+        ["Cores", "Tasks", "Session total", "Serial total"],
+        title="Scheduler quality vs SOC size (synthetic)",
+    )
+    for n_cores, n_tasks, session, serial in rows:
+        table.add_row([n_cores, n_tasks, f"{session:,}", f"{serial:,}"])
+    print()
+    print(table.render())
+    for _, _, session, serial in rows:
+        assert session <= serial

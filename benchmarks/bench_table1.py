@@ -1,0 +1,66 @@
+"""E1 / Table 1 — core test information of the DSC chip.
+
+Regenerates the paper's Table 1 from the SOC model and checks every
+published quantity exactly; the benchmark times the model construction
+plus tally (the "STIL Parser digests core info" step at DSC scale).
+"""
+
+from benchmarks.conftest import paper_vs_ours
+from repro.soc.dsc import build_dsc_chip, table1
+
+#: (core, TI, TO, PI, PO, chain lengths, scan patterns, functional patterns)
+PAPER_TABLE1 = {
+    "USB": (18, 4, 221, 104, [1629, 78, 293, 45], 716, 0),
+    "TV": (6, 1, 25, 40, [577, 576], 229, 202_673),
+    "JPEG": (1, 0, 165, 104, [], 0, 235_696),
+}
+
+
+def test_table1_reproduction(benchmark):
+    soc = benchmark(build_dsc_chip)
+    print()
+    print(table1(soc).render())
+    rows = []
+    for name, (ti, to, pi, po, chains, scan_p, func_p) in PAPER_TABLE1.items():
+        core = soc.core(name)
+        counts = core.counts
+        assert (counts.ti, counts.to, counts.pi, counts.po) == (ti, to, pi, po), name
+        assert core.chain_lengths == chains, name
+        assert core.scan_patterns == scan_p, name
+        assert core.functional_patterns == func_p, name
+        rows.append(
+            (
+                f"{name} TI/TO/PI/PO",
+                f"{ti}/{to}/{pi}/{po}",
+                f"{counts.ti}/{counts.to}/{counts.pi}/{counts.po}",
+            )
+        )
+    print()
+    print(paper_vs_ours("Table 1 check (exact)", rows))
+
+
+def test_control_io_accounting(benchmark):
+    """Section 3: '19 test IOs: 6 clock, 4 reset, 7 TE, 2 SE'."""
+    soc = build_dsc_chip()
+
+    def tally():
+        needs = [soc.core(n).control_needs for n in ("USB", "TV", "JPEG")]
+        total = needs[0] + needs[1] + needs[2]
+        return total
+
+    total = benchmark(tally)
+    assert (total.clocks, total.resets, total.test_enables, total.scan_enables) == (6, 4, 7, 2)
+    assert total.total == 19
+    print()
+    print(
+        paper_vs_ours(
+            "Control IO accounting",
+            [
+                ("total test IOs", 19, total.total),
+                ("clock signals", 6, total.clocks),
+                ("reset signals", 4, total.resets),
+                ("test enable signals", 7, total.test_enables),
+                ("SE signals", 2, total.scan_enables),
+            ],
+        )
+    )

@@ -1,0 +1,34 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every benchmark module reproduces one paper artifact (table, figure, or
+quoted number — see DESIGN.md's experiment index) and *prints* the
+reproduced rows next to the paper's values, so `pytest benchmarks/
+--benchmark-only -s` regenerates the whole evaluation section.
+"""
+
+import pytest
+
+
+def paper_vs_ours(title: str, rows: list[tuple[str, object, object]]) -> str:
+    """Render a paper-vs-measured comparison block."""
+    from repro.util import Table
+
+    table = Table(["Quantity", "Paper", "This reproduction"], title=title)
+    for row in rows:
+        table.add_row(list(row))
+    return table.render()
+
+
+@pytest.fixture(scope="session")
+def dsc_soc():
+    from repro.soc.dsc import build_dsc_chip
+
+    return build_dsc_chip()
+
+
+@pytest.fixture(scope="session")
+def dsc_integration():
+    from repro.core import Steac
+    from repro.soc.dsc import build_dsc_chip
+
+    return Steac().integrate(build_dsc_chip())

@@ -1,0 +1,74 @@
+"""Scheduling study on the public ITC'02 benchmark d695 (experiment E11).
+
+Sweeps the chip pin budget and compares session-based, non-session and
+serial scheduling; optionally validates the heuristic against the MILP
+optimum on a reduced instance (pass --ilp; needs a few minutes).
+
+Run:  python examples/itc02_scheduling.py [--ilp]
+"""
+
+import sys
+
+from repro.sched import (
+    InfeasibleScheduleError,
+    schedule_nonsession,
+    schedule_serial,
+    schedule_sessions,
+    tasks_from_soc,
+)
+from repro.soc.itc02 import d695_soc, d695_soc_text
+from repro.util import Table, format_cycles
+
+
+def main(run_ilp: bool = False) -> None:
+    print("=" * 72)
+    print("ITC'02 d695 (10 ISCAS cores), our .soc exchange text:")
+    print("=" * 72)
+    print(d695_soc_text())
+
+    table = Table(
+        ["Pins", "Session-based", "Sessions", "Non-session", "Serial"],
+        title="d695 total test time vs pin budget",
+    )
+    for pins in (24, 32, 48, 64, 96):
+        soc = d695_soc(test_pins=pins)
+        tasks = tasks_from_soc(soc)
+        session = schedule_sessions(soc, tasks)
+        try:
+            nonsession_time = format_cycles(schedule_nonsession(soc, tasks).total_time)
+        except InfeasibleScheduleError:
+            # dedicated control IOs for all 10 cores exceed the pin budget
+            nonsession_time = "infeasible"
+        serial = schedule_serial(soc, tasks)
+        table.add_row(
+            [
+                pins,
+                format_cycles(session.total_time),
+                session.session_count,
+                nonsession_time,
+                format_cycles(serial.total_time),
+            ]
+        )
+    print(table.render())
+    print()
+    print("shape: wider TAMs shrink test time with diminishing returns.")
+    print("Non-session scheduling pays dedicated control IOs for all ten cores")
+    print("at every budget, so session-based dominates across the sweep; serial")
+    print("converges once each core already gets its maximum useful width.")
+
+    if run_ilp:
+        from repro.sched.ilp import schedule_ilp
+
+        soc = d695_soc(test_pins=48)
+        tasks = tasks_from_soc(soc)
+        print()
+        print("MILP validation at 48 pins (HiGHS, 3 sessions)...")
+        ilp = schedule_ilp(soc, tasks, n_sessions=3, time_limit=120)
+        heur = schedule_sessions(soc, tasks)
+        print(f"  ILP optimum:  {ilp.total_time:,} cycles")
+        print(f"  heuristic:    {heur.total_time:,} cycles "
+              f"({100 * (heur.total_time / ilp.total_time - 1):.2f}% from optimal)")
+
+
+if __name__ == "__main__":
+    main(run_ilp="--ilp" in sys.argv)

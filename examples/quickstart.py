@@ -1,0 +1,57 @@
+"""Quickstart: the whole platform in ~60 lines.
+
+Builds a tiny SOC around the demo core, runs ATPG to get real patterns,
+writes/parses STIL, and lets STEAC integrate everything: schedule,
+wrappers, TAM, test controller, translated ATE program.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.atpg import generate_scan_patterns
+from repro.core import Steac
+from repro.netlist import netlist_to_verilog
+from repro.soc import MemorySpec, Soc
+from repro.soc.demo import build_demo_core, build_demo_core_module
+from repro.stil import core_to_stil
+
+
+def main() -> None:
+    # 1. a core with a real gate-level implementation
+    module = build_demo_core_module()
+    core = build_demo_core()
+
+    # 2. ATPG: generate scan patterns for every stuck-at fault
+    atpg = generate_scan_patterns(module, core)
+    print(
+        f"ATPG: {atpg.pattern_count} patterns, "
+        f"{atpg.coverage:.1f}% stuck-at coverage, "
+        f"{len(atpg.untestable)} provably untestable faults"
+    )
+
+    # 3. the core's test information travels as STIL (IEEE 1450), exactly
+    #    as it would from a commercial ATPG tool
+    stil_text = core_to_stil(build_demo_core(patterns=atpg.pattern_count), atpg.patterns)
+    print(f"STIL file: {len(stil_text.splitlines())} lines")
+
+    # 4. an SOC: the demo core plus a couple of embedded SRAMs
+    soc = Soc("quickstart_soc", test_pins=16, power_budget=4.0)
+    soc.add_memory(MemorySpec("buf0", words=1024, bits=16))
+    soc.add_memory(MemorySpec("buf1", words=512, bits=8))
+
+    # 5. STEAC: parse STIL, schedule, generate DFT, translate patterns
+    result = Steac().integrate(soc, stil_texts={"demo": stil_text})
+    print()
+    print(result.report())
+
+    # 6. artifacts
+    program = result.programs["demo.scan"]
+    print()
+    print(f"chip-level ATE program: {program.cycle_count} cycles "
+          f"across pins {program.pins[:6]}...")
+    verilog = netlist_to_verilog(result.netlist)
+    print(f"DFT-inserted netlist: {len(verilog.splitlines())} lines of Verilog "
+          f"({result.netlist.top.name})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""repro — a reproduction of "SOC Testing Methodology and Practice"
+(Cheng-Wen Wu, DATE 2005).
+
+The package implements **STEAC**, an SOC test-integration platform
+(STIL parser, session-based core-test scheduler, IEEE-1500-style wrapper /
+TAM / test-controller generation, pattern translation) together with
+**BRAINS**, a memory-BIST compiler, and every substrate the paper assumes
+(gate-level netlists, a logic simulator, and a PODEM ATPG).
+
+Quickstart::
+
+    from repro.soc.dsc import build_dsc_chip
+    from repro.core import Steac
+
+    soc = build_dsc_chip()
+    result = Steac().integrate(soc)
+    print(result.report())
+
+See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for the
+paper-vs-measured record.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,109 @@
+"""Command-line front end: ``python -m repro <command>``.
+
+BRAINS "can generate the BIST circuit using the GUI or command shell";
+this is the command shell for the whole reproduction:
+
+* ``python -m repro dsc``            — integrate the DSC chip, print the report
+* ``python -m repro dsc --verilog``  — also dump the DFT-inserted Verilog
+* ``python -m repro march``          — list the March algorithm library
+* ``python -m repro coverage``       — March fault-coverage table
+* ``python -m repro d695 [pins]``    — schedule the ITC'02 d695 benchmark
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_dsc(args: argparse.Namespace) -> int:
+    from repro.core import Steac, SteacConfig
+    from repro.soc.dsc import build_dsc_chip
+
+    config = SteacConfig(bist_power_headroom=args.headroom)
+    result = Steac(config).integrate(
+        build_dsc_chip(test_pins=args.pins, power_budget=args.power)
+    )
+    print(result.report())
+    if args.verilog:
+        from repro.netlist import netlist_to_verilog
+
+        text = netlist_to_verilog(result.netlist)
+        if args.verilog == "-":
+            print(text)
+        else:
+            with open(args.verilog, "w") as handle:
+                handle.write(text)
+            print(f"\nwrote {len(text.splitlines()):,} lines to {args.verilog}")
+    return 0
+
+
+def _cmd_march(args: argparse.Namespace) -> int:
+    from repro.bist import ALGORITHMS, with_retention
+
+    for march in ALGORITHMS:
+        print(f"{march.name:<10} {march.complexity:>3}N   {march.format()}")
+    if args.retention:
+        print()
+        for march in ALGORITHMS:
+            try:
+                variant = with_retention(march)
+                print(f"{variant.name:<15} {variant.format()}")
+            except ValueError:
+                pass
+    return 0
+
+
+def _cmd_coverage(args: argparse.Namespace) -> int:
+    from repro.bist import ALGORITHMS, coverage_table
+
+    print(coverage_table(list(ALGORITHMS), size=args.size, coupling_pairs=args.pairs).render())
+    return 0
+
+
+def _cmd_d695(args: argparse.Namespace) -> int:
+    from repro.sched import schedule_sessions, tasks_from_soc
+    from repro.soc.itc02 import d695_soc
+
+    soc = d695_soc(test_pins=args.pins)
+    result = schedule_sessions(soc, tasks_from_soc(soc))
+    print(result.render())
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="STEAC SOC test integration platform (Wu, DATE 2005 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_dsc = sub.add_parser("dsc", help="integrate the DSC case-study chip")
+    p_dsc.add_argument("--pins", type=int, default=28, help="tester pin budget")
+    p_dsc.add_argument("--power", type=float, default=8.0, help="power budget")
+    p_dsc.add_argument("--headroom", action="store_true",
+                       help="enable BIST power-headroom co-optimization")
+    p_dsc.add_argument("--verilog", metavar="FILE", nargs="?", const="-",
+                       help="dump DFT-inserted Verilog (to FILE or stdout)")
+    p_dsc.set_defaults(func=_cmd_dsc)
+
+    p_march = sub.add_parser("march", help="list the March algorithm library")
+    p_march.add_argument("--retention", action="store_true",
+                         help="also show data-retention variants")
+    p_march.set_defaults(func=_cmd_march)
+
+    p_cov = sub.add_parser("coverage", help="March fault-coverage table")
+    p_cov.add_argument("--size", type=int, default=12, help="array cells")
+    p_cov.add_argument("--pairs", type=int, default=12, help="sampled coupling pairs")
+    p_cov.set_defaults(func=_cmd_coverage)
+
+    p_d695 = sub.add_parser("d695", help="schedule the ITC'02 d695 benchmark")
+    p_d695.add_argument("--pins", type=int, default=48, help="tester pin budget")
+    p_d695.set_defaults(func=_cmd_d695)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

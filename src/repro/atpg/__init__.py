@@ -1,0 +1,31 @@
+"""ATPG substrate: PODEM, fault simulation, and full-scan pattern
+generation emitting STIL (the paper assumes commercial ATPG here)."""
+
+from repro.atpg.engine import CombEngine, ParallelSim
+from repro.atpg.faults import StuckFault, all_stuck_faults
+from repro.atpg.faultsim_gate import FaultSimResult, fault_simulate, fill_x
+from repro.atpg.podem import PodemResult, podem
+from repro.atpg.scan import (
+    AtpgResult,
+    CombView,
+    combinational_view,
+    generate_scan_patterns,
+    trace_chain_flops,
+)
+
+__all__ = [
+    "CombEngine",
+    "ParallelSim",
+    "StuckFault",
+    "all_stuck_faults",
+    "FaultSimResult",
+    "fault_simulate",
+    "fill_x",
+    "PodemResult",
+    "podem",
+    "AtpgResult",
+    "CombView",
+    "combinational_view",
+    "generate_scan_patterns",
+    "trace_chain_flops",
+]

@@ -1,0 +1,41 @@
+"""Gate-level stuck-at fault universe.
+
+Faults are modelled at net granularity (a net stuck at 0 or 1), the
+classical collapsed approximation: a gate-output fault dominates its
+input faults along fanout-free paths, so net faults cover the structural
+fault classes our flow needs while keeping the universe linear in design
+size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.netlist import Module
+
+
+@dataclass(frozen=True)
+class StuckFault:
+    """Net ``net`` stuck at ``value`` (0 or 1)."""
+
+    net: str
+    value: int
+
+    def __post_init__(self) -> None:
+        if self.value not in (0, 1):
+            raise ValueError(f"stuck value must be 0 or 1, got {self.value}")
+
+    def describe(self) -> str:
+        return f"{self.net}/SA{self.value}"
+
+
+def all_stuck_faults(module: Module, skip: set[str] | None = None) -> list[StuckFault]:
+    """Both polarities on every net (minus ``skip``), in sorted order."""
+    skip = skip or set()
+    faults = []
+    for net in sorted(module.nets):
+        if net in skip:
+            continue
+        faults.append(StuckFault(net, 0))
+        faults.append(StuckFault(net, 1))
+    return faults

@@ -1,0 +1,209 @@
+"""BRAINS — the memory BIST compiler (paper Section 2, Fig. 2, ref [3]).
+
+"With our automatic memory BIST generation system, BRAINS, one can
+generate the BIST circuit using the GUI or command shell, and evaluate
+the memory test efficiency among different designs easily."
+
+:class:`Brains` compiles a list of memory specs into a
+:class:`BistEngine`: a grouped test plan, generated hardware (shared
+controller + sequencer + one TPG per memory) with measured areas, exact
+cycle counts, schedulable tasks for STEAC, and a behavioral runner that
+actually executes the March test against (optionally fault-injected)
+memory models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bist.controller import make_bist_controller
+from repro.bist.march import MARCH_C_MINUS, MarchTest
+from repro.bist.memory_model import FaultFreeMemory, FaultModel, FaultyMemory
+from repro.bist.scheduling import BistPlan, plan_bist
+from repro.bist.sequencer import make_sequencer
+from repro.bist.tpg import TpgRunResult, make_tpg, march_cycles, run_tpg
+from repro.netlist import Module, Netlist
+from repro.soc.memory import MemorySpec
+from repro.util import Table, format_cycles, format_gates
+
+
+@dataclass
+class BrainsConfig:
+    """Compiler knobs.
+
+    Attributes:
+        march: the March algorithm to embed.
+        power_budget: cap on concurrent memory test power (0 = none).
+        max_groups: cap on group count (None = as many as needed).
+        sequencers: sequencer instances to generate (the paper's "one or
+            more Sequencers"; >1 allows different algorithms per memory
+            family — areas add, behaviour is identical here).
+        word_oriented: repeat the algorithm once per data background so
+            word-wide arrays get intra-word coupling coverage
+            (:mod:`repro.bist.backgrounds`).
+    """
+
+    march: MarchTest = MARCH_C_MINUS
+    power_budget: float = 0.0
+    max_groups: int | None = None
+    sequencers: int = 1
+    word_oriented: bool = False
+
+
+@dataclass
+class BistRunResult:
+    """Outcome of a behavioral engine run."""
+
+    results: list[TpgRunResult] = field(default_factory=list)
+    total_cycles: int = 0
+
+    @property
+    def all_pass(self) -> bool:
+        return all(r.passed for r in self.results)
+
+    @property
+    def failing(self) -> list[str]:
+        return [r.memory_name for r in self.results if not r.passed]
+
+
+@dataclass
+class BistEngine:
+    """A compiled BIST subsystem for one SOC's memories."""
+
+    specs: list[MemorySpec]
+    config: BrainsConfig
+    plan: BistPlan
+    netlist: Netlist
+    tpg_modules: dict[str, Module]
+    controller_module: Module
+    sequencer_modules: list[Module]
+
+    # -- figures -------------------------------------------------------------
+
+    @property
+    def march(self) -> MarchTest:
+        return self.config.march
+
+    @property
+    def total_cycles(self) -> int:
+        """Engine test time (groups back-to-back)."""
+        return self.plan.total_cycles
+
+    def memory_cycles(self, spec: MemorySpec) -> int:
+        from repro.bist.scheduling import memory_test_cycles
+
+        return memory_test_cycles(self.march, spec, self.config.word_oriented)
+
+    @property
+    def total_area(self) -> float:
+        """Generated BIST hardware in NAND2 equivalents."""
+        total = self.controller_module.area(self.netlist)
+        total += sum(s.area(self.netlist) for s in self.sequencer_modules)
+        total += sum(t.area(self.netlist) for t in self.tpg_modules.values())
+        return total
+
+    def to_tasks(self):
+        """Schedulable group tasks for the Core Test Scheduler (Fig. 4)."""
+        return self.plan.to_tasks()
+
+    # -- behavioral execution ---------------------------------------------------
+
+    def run(
+        self,
+        faults: dict[str, FaultModel] | None = None,
+        model_words: int = 256,
+        seed: int = 1,
+    ) -> BistRunResult:
+        """Execute the BIST plan against behavioral memory models.
+
+        Arrays are modelled at ``min(spec.words, model_words)`` cells to
+        keep runs fast; *cycle counts are always reported for the true
+        sizes*.  ``faults`` maps memory names to a fault to inject.
+        """
+        faults = faults or {}
+        result = BistRunResult(total_cycles=self.plan.total_cycles)
+        for group in self.plan.groups:
+            for spec in group.memories:
+                size = min(spec.words, model_words)
+                fault = faults.get(spec.name)
+                if fault is None:
+                    memory = FaultFreeMemory(size, seed=seed)
+                else:
+                    memory = FaultyMemory(size, fault, seed=seed)
+                run = run_tpg(
+                    memory, self.march, name=spec.name, two_port=spec.is_two_port
+                )
+                # report true-size cycles
+                run.cycles = self.memory_cycles(spec)
+                result.results.append(run)
+        return result
+
+    # -- reports -----------------------------------------------------------------
+
+    def area_table(self) -> Table:
+        table = Table(
+            ["Block", "Instances", "Gates"],
+            title=f"BRAINS-generated BIST hardware ({self.march.name})",
+        )
+        table.add_row(
+            ["BIST controller", 1, f"{self.controller_module.area(self.netlist):.0f}"]
+        )
+        seq_area = sum(s.area(self.netlist) for s in self.sequencer_modules)
+        table.add_row(["Sequencer", len(self.sequencer_modules), f"{seq_area:.0f}"])
+        tpg_area = sum(t.area(self.netlist) for t in self.tpg_modules.values())
+        table.add_row(["TPGs", len(self.tpg_modules), f"{tpg_area:.0f}"])
+        table.add_row(["Total", "", format_gates(self.total_area)])
+        return table
+
+    def time_table(self) -> Table:
+        table = Table(
+            ["Memory", "Geometry", "Cycles"],
+            title=f"Per-memory BIST time ({self.march.name})",
+        )
+        for spec in self.specs:
+            table.add_row(
+                [spec.name, spec.describe(), format_cycles(self.memory_cycles(spec))]
+            )
+        return table
+
+
+class Brains:
+    """The BRAINS compiler front end."""
+
+    def compile(
+        self, memories: list[MemorySpec], config: BrainsConfig | None = None
+    ) -> BistEngine:
+        """Compile BIST for ``memories``: plan groups, generate hardware."""
+        if not memories:
+            raise ValueError("BRAINS needs at least one memory")
+        config = config or BrainsConfig()
+        plan = plan_bist(
+            memories,
+            config.march,
+            config.power_budget,
+            config.max_groups,
+            word_oriented=config.word_oriented,
+        )
+        netlist = Netlist()
+        tpgs: dict[str, Module] = {}
+        for spec in memories:
+            module = make_tpg(spec)
+            netlist.add(module)
+            tpgs[spec.name] = module
+        sequencers = []
+        for i in range(max(1, config.sequencers)):
+            module = make_sequencer(config.march, name=f"sequencer{i}")
+            netlist.add(module)
+            sequencers.append(module)
+        controller = make_bist_controller(len(memories), max(1, len(plan.groups)))
+        netlist.add(controller)
+        netlist.top_name = controller.name
+        return BistEngine(
+            specs=list(memories),
+            config=config,
+            plan=plan,
+            netlist=netlist,
+            tpg_modules=tpgs,
+            controller_module=controller,
+            sequencer_modules=sequencers,
+        )

@@ -1,0 +1,112 @@
+"""Shared BIST controller ("the tester can access all the on-chip
+memories via a single shared BIST Controller", paper Fig. 2).
+
+Interface pins follow Fig. 2's naming: ``MBS`` (BIST start), ``MBR``
+(BIST ready/done), ``MSI``/``MSO`` (serial command in / response out),
+``MBO`` (pass/fail summary), ``MRD`` (result read strobe), ``MBC``
+(BIST clock).  Internally: a run FSM, a group counter that walks the
+BIST plan's groups, a per-memory result register, and a serial readout
+path.
+"""
+
+from __future__ import annotations
+
+from repro.netlist import Module
+
+
+def make_bist_controller(
+    n_memories: int, n_groups: int, name: str = "bist_controller"
+) -> Module:
+    """Generate the shared controller netlist."""
+    if n_memories < 1 or n_groups < 1:
+        raise ValueError("controller needs at least one memory and one group")
+    g_bits = max(1, (n_groups - 1).bit_length())
+    m = Module(name)
+    for port in ("mbc", "rstn", "mbs", "msi", "mrd", "seq_done"):
+        m.add_input(port)
+    for i in range(n_memories):
+        m.add_input(f"err{i}")
+    for port in ("mbr", "mbo", "mso"):
+        m.add_output(port)
+    for g in range(n_groups):
+        m.add_output(f"group_en{g}")
+
+    # run FSM: state0 = running, state1 = done (idle = both low)
+    m.add_instance("u_idle_n0", "NOR2", A="n_run", B="n_done", Y="n_idle")
+    m.add_instance("u_start", "AND2", A="mbs", B="n_idle", Y="n_go")
+    m.add_instance("u_last_grp", "AND2", A="n_at_last_group", B="seq_done", Y="n_finish")
+    m.add_instance("u_fin_n", "INV", A="n_finish", Y="n_finish_n")
+    m.add_instance("u_run_hold", "AND2", A="n_run", B="n_finish_n", Y="n_run_hold")
+    m.add_instance("u_run_d", "OR2", A="n_go", B="n_run_hold", Y="n_run_next")
+    m.add_instance("u_run_ff", "DFFR", D="n_run_next", CK="mbc", RN="rstn", Q="n_run")
+    m.add_instance("u_done_hold", "OR2", A="n_done", B="n_finish", Y="n_done_next")
+    m.add_instance("u_done_ff", "DFFR", D="n_done_next", CK="mbc", RN="rstn", Q="n_done")
+    m.add_instance("u_mbr_buf", "BUF", A="n_done", Y="mbr")
+
+    # group counter: advances when the sequencer finishes a group's program
+    m.add_instance("u_adv", "AND2", A="n_run", B="seq_done", Y="n_adv")
+    carry = "n_adv"
+    for b in range(g_bits):
+        q = f"n_g{b}"
+        m.add_instance(f"u_gx{b}", "XOR2", A=q, B=carry, Y=f"n_gnext{b}")
+        m.add_instance(f"u_gc{b}", "AND2", A=q, B=carry, Y=f"n_gcarry{b}")
+        m.add_instance(f"u_gf{b}", "DFFR", D=f"n_gnext{b}", CK="mbc", RN="rstn", Q=q)
+        m.add_instance(f"u_gi{b}", "INV", A=q, Y=f"n_g{b}_n")
+        carry = f"n_gcarry{b}"
+
+    # group decode (one-hot enables, gated by run)
+    for g in range(n_groups):
+        literals = [f"n_g{b}" if (g >> b) & 1 else f"n_g{b}_n" for b in range(g_bits)]
+        net = m.add_net(f"n_gdec{g}")
+        _tree(m, literals, net, "AND", f"u_gd{g}")
+        m.add_instance(f"u_gen{g}", "AND2", A=net, B="n_run", Y=f"group_en{g}")
+    last = n_groups - 1
+    literals = [f"n_g{b}" if (last >> b) & 1 else f"n_g{b}_n" for b in range(g_bits)]
+    _tree(m, literals, "n_at_last_group", "AND", "u_lastg")
+
+    # result register: accumulate (sticky) error flags while running;
+    # serial readout shifts the register toward MSO when MRD is high
+    prev = "msi"
+    fail_terms = []
+    for i in range(n_memories):
+        cap = f"n_cap{i}"
+        m.add_instance(f"u_racc{i}", "OR2", A=f"err{i}", B=f"n_res{i}", Y=f"n_acc{i}")
+        m.add_instance(f"u_rmux{i}", "MUX2", D0=f"n_acc{i}", D1=prev, S="mrd", Y=cap)
+        m.add_instance(f"u_ren{i}", "OR2", A="n_run", B="mrd", Y=f"n_ren{i}")
+        m.add_instance(f"u_rff{i}", "DFFE", D=cap, CK="mbc", E=f"n_ren{i}", Q=f"n_res{i}")
+        prev = f"n_res{i}"
+        fail_terms.append(f"n_res{i}")
+    m.add_instance("u_mso_buf", "BUF", A=prev, Y="mso")
+    fail_any = m.add_net("n_fail_any")
+    _tree(m, fail_terms, fail_any, "OR", "u_fail")
+    m.add_instance("u_mbo_inv", "INV", A=fail_any, Y="mbo")  # 1 = all pass
+    return m
+
+
+def _tree(m: Module, nets: list[str], out: str, kind: str, prefix: str) -> None:
+    cell2, cell3 = (("AND2", "AND3") if kind == "AND" else ("OR2", "OR3"))
+    if len(nets) == 1:
+        m.add_instance(f"{prefix}_buf", "BUF", A=nets[0], Y=out)
+        return
+    current = list(nets)
+    level = 0
+    while len(current) > 1:
+        nxt = []
+        i = 0
+        while i < len(current):
+            group = current[i : i + 3] if len(current) - i == 3 else current[i : i + 2]
+            i += len(group)
+            if len(group) == 1:
+                nxt.append(group[0])
+                continue
+            final = i >= len(current) and not nxt
+            y = out if final else m.add_net(f"{prefix}_t{level}_{len(nxt)}")
+            m.add_instance(
+                f"{prefix}_g{level}_{len(nxt)}",
+                cell3 if len(group) == 3 else cell2,
+                Y=y,
+                **dict(zip("ABC", group)),
+            )
+            nxt.append(y)
+        current = nxt
+        level += 1

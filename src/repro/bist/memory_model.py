@@ -1,0 +1,136 @@
+"""Behavioral memory model for March fault simulation.
+
+The model is *bit-oriented*: one cell per address, matching classical
+March test theory.  Word-oriented arrays are tested by BRAINS with solid
+data backgrounds, under which each bit position behaves as an independent
+bit-oriented array — so coverage results transfer (vd Goor, "Testing
+Semiconductor Memories").
+
+Faults are injected by wrapping the array in a :class:`FaultyMemory`
+whose read/write paths are intercepted by a fault model object
+(:mod:`repro.bist.faults`).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional, Protocol
+
+
+class MemoryState:
+    """The raw cell array plus the sense-amplifier latch."""
+
+    def __init__(self, size: int, seed: int | None = 1):
+        if size <= 0:
+            raise ValueError(f"memory size must be positive, got {size}")
+        rng = random.Random(seed)
+        self.size = size
+        #: cell values; power-up state is random (seeded for repeatability)
+        self.cells: list[int] = [rng.randint(0, 1) for _ in range(size)]
+        #: last value produced by the sense amplifier (for SOF modeling)
+        self.sense_amp: int = 0
+
+    def check_addr(self, addr: int) -> None:
+        if not 0 <= addr < self.size:
+            raise IndexError(f"address {addr} out of range 0..{self.size - 1}")
+
+
+class MemoryInterface(Protocol):
+    """What the fault simulator needs from a memory."""
+
+    size: int
+
+    def read(self, addr: int) -> int: ...
+
+    def write(self, addr: int, value: int) -> None: ...
+
+    def pause(self) -> None: ...
+
+
+class FaultFreeMemory:
+    """A golden memory: reads return what was written."""
+
+    def __init__(self, size: int, seed: int | None = 1):
+        self.state = MemoryState(size, seed)
+        self.size = size
+
+    def read(self, addr: int) -> int:
+        self.state.check_addr(addr)
+        value = self.state.cells[addr]
+        self.state.sense_amp = value
+        return value
+
+    def write(self, addr: int, value: int) -> None:
+        self.state.check_addr(addr)
+        self.state.cells[addr] = value & 1
+
+    def pause(self) -> None:
+        """Retention pause: a healthy memory holds its data."""
+
+
+class FaultyMemory:
+    """A memory with one injected fault (single-fault assumption).
+
+    ``initial_overrides`` pins specific cells' power-up values — the
+    fault simulator uses this to check *guaranteed* detection (a March
+    test must catch the fault for every initial state of the involved
+    cells, since power-up state is undefined).
+    """
+
+    def __init__(
+        self,
+        size: int,
+        fault: "FaultModel",
+        seed: int | None = 1,
+        initial_overrides: dict[int, int] | None = None,
+    ):
+        self.state = MemoryState(size, seed)
+        for addr, value in (initial_overrides or {}).items():
+            self.state.cells[addr] = value & 1
+        self.size = size
+        self.fault = fault
+        fault.on_inject(self.state)
+
+    def read(self, addr: int) -> int:
+        self.state.check_addr(addr)
+        value = self.fault.apply_read(self.state, addr)
+        self.state.sense_amp = value
+        return value
+
+    def write(self, addr: int, value: int) -> None:
+        self.state.check_addr(addr)
+        self.fault.apply_write(self.state, addr, value & 1)
+
+    def pause(self) -> None:
+        self.fault.apply_pause(self.state)
+
+
+class FaultModel:
+    """Base fault model: behaves like a fault-free memory.
+
+    Subclasses override the hooks; ``cells_involved`` names the addresses
+    the fault touches (used for reporting and population generation).
+    """
+
+    name = "none"
+
+    @property
+    def cells_involved(self) -> tuple[int, ...]:
+        return ()
+
+    def describe(self) -> str:
+        cells = ",".join(str(c) for c in self.cells_involved)
+        return f"{self.name}({cells})"
+
+    def on_inject(self, state: MemoryState) -> None:
+        """Called once when the fault is installed."""
+
+    def apply_read(self, state: MemoryState, addr: int) -> int:
+        return state.cells[addr]
+
+    def apply_write(self, state: MemoryState, addr: int, value: int) -> None:
+        state.cells[addr] = value
+
+    def apply_pause(self, state: MemoryState) -> None:
+        """Retention pause hook (only DRF reacts)."""

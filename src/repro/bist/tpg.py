@@ -1,0 +1,173 @@
+"""Test Pattern Generator (TPG): per-memory March executor.
+
+"Each Test Pattern Generator (TPG) attached to the memory will translate
+the March-based test commands to the respective RAM signals" (paper,
+Fig. 2).  Two faces:
+
+* a **behavioral** executor that runs a March test against a
+  :class:`repro.bist.memory_model.MemoryInterface`, counting cycles
+  exactly as the hardware would;
+* a **gate-level generator** producing the TPG netlist (address counter,
+  op decoder, read comparator, done logic) for area accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bist.march import MarchTest, Op, Order
+from repro.bist.memory_model import MemoryInterface
+from repro.netlist import Module
+from repro.soc.memory import MemorySpec
+
+#: Cycles for BIST start-up handshake per memory run.
+TPG_SETUP_CYCLES = 4
+
+#: Pipeline bubble when the sequencer advances to the next March element.
+ELEMENT_SWITCH_CYCLES = 2
+
+#: Retention pause length in cycles (tester-controlled; modelled value).
+PAUSE_CYCLES = 1000
+
+
+@dataclass
+class TpgRunResult:
+    """Outcome of one behavioral TPG run."""
+
+    memory_name: str
+    passed: bool
+    cycles: int
+    fail_addr: int | None = None
+    fail_op: str | None = None
+
+
+def march_cycles(march: MarchTest, words: int, two_port: bool = False) -> int:
+    """Cycle-accurate BIST run length for one memory.
+
+    One RAM operation per cycle, plus per-element switch bubbles and the
+    setup handshake; two-port memories run the algorithm once per port.
+    """
+    passes = 2 if two_port else 1
+    per_pass = (
+        march.operation_count(words)
+        + ELEMENT_SWITCH_CYCLES * len(march.elements)
+        + sum(PAUSE_CYCLES for e in march.elements if e.pause_before)
+    )
+    return TPG_SETUP_CYCLES + passes * per_pass
+
+
+def run_tpg(
+    memory: MemoryInterface,
+    march: MarchTest,
+    name: str = "mem",
+    two_port: bool = False,
+    stop_on_fail: bool = False,
+) -> TpgRunResult:
+    """Behavioral TPG: apply ``march``, count cycles, record first fail.
+
+    The cycle count always equals :func:`march_cycles` when
+    ``stop_on_fail`` is False — an invariant the tests pin.
+    """
+    cycles = TPG_SETUP_CYCLES
+    passed = True
+    fail_addr = fail_op = None
+    passes = 2 if two_port else 1
+    for _ in range(passes):
+        for element in march.elements:
+            if element.pause_before:
+                memory.pause()
+                cycles += PAUSE_CYCLES
+            cycles += ELEMENT_SWITCH_CYCLES
+            addresses = (
+                range(memory.size)
+                if element.order is not Order.DOWN
+                else range(memory.size - 1, -1, -1)
+            )
+            for addr in addresses:
+                for op in element.ops:
+                    cycles += 1
+                    if op.is_write:
+                        memory.write(addr, op.value_bit)
+                    elif memory.read(addr) != op.value_bit:
+                        if passed:
+                            fail_addr, fail_op = addr, op.value
+                        passed = False
+                        if stop_on_fail:
+                            return TpgRunResult(name, False, cycles, fail_addr, fail_op)
+    return TpgRunResult(name, passed, cycles, fail_addr, fail_op)
+
+
+def make_tpg(spec: MemorySpec, name: str | None = None) -> Module:
+    """Generate the TPG netlist for one memory.
+
+    Structure: an ``addr_bits`` up/down counter, a terminal-count
+    detector, March op decode (2-bit op bus from the sequencer), expected-
+    data generation, a read comparator and a sticky error flag.
+    """
+    bits = spec.address_bits
+    m = Module(name or f"tpg_{spec.name}")
+    for port in ("clk", "rstn", "run", "op0", "op1", "dir_down", "q"):
+        m.add_input(port)
+    for port in ("addr_done", "error", "we", "wdata"):
+        m.add_output(port)
+    for b in range(bits):
+        m.add_output(f"addr{b}")
+
+    # up/down address counter: next = addr +/- 1 (ripple half-add/sub)
+    m.add_instance("u_dir_inv", "INV", A="dir_down", Y="n_dir_up")
+    carry = "run"  # increment only while running
+    for b in range(bits):
+        q = f"n_a{b}"
+        # count bit: XOR with carry; direction handled by xor-ing the
+        # stored bit with dir_down before the carry chain (two's-complement
+        # down count via inverted bit trick)
+        m.add_instance(f"u_cx{b}", "XOR2", A=q, B=carry, Y=f"n_next{b}")
+        eff = f"n_eff{b}"
+        m.add_instance(f"u_ce{b}", "XOR2", A=q, B="dir_down", Y=eff)
+        m.add_instance(f"u_cc{b}", "AND2", A=eff, B=carry, Y=f"n_carry{b}")
+        m.add_instance(
+            f"u_ff{b}", "DFFR", D=f"n_next{b}", CK="clk", RN="rstn", Q=q
+        )
+        m.add_instance(f"u_ob{b}", "BUF", A=q, Y=f"addr{b}")
+        carry = f"n_carry{b}"
+    # terminal count: all effective bits high -> sweep complete
+    terms = [f"n_eff{b}" for b in range(bits)]
+    _reduce_and(m, terms, "addr_done", prefix="u_tc")
+
+    # op decode: op[1:0] = 00 r0, 01 r1, 10 w0, 11 w1
+    m.add_instance("u_we_buf", "BUF", A="op1", Y="we")
+    m.add_instance("u_wd_buf", "BUF", A="op0", Y="wdata")
+    # read compare: expected = op0 when reading (op1 = 0)
+    m.add_instance("u_exp_x", "XOR2", A="q", B="op0", Y="n_mismatch")
+    m.add_instance("u_rd_inv", "INV", A="op1", Y="n_is_read")
+    m.add_instance("u_err_and", "AND3", A="n_mismatch", B="n_is_read", C="run", Y="n_err_set")
+    m.add_instance("u_err_or", "OR2", A="n_err_set", B="n_err_q", Y="n_err_d")
+    m.add_instance("u_err_ff", "DFFR", D="n_err_d", CK="clk", RN="rstn", Q="n_err_q")
+    m.add_instance("u_err_buf", "BUF", A="n_err_q", Y="error")
+    return m
+
+
+def _reduce_and(m: Module, nets: list[str], out: str, prefix: str) -> None:
+    if len(nets) == 1:
+        m.add_instance(f"{prefix}_buf", "BUF", A=nets[0], Y=out)
+        return
+    current = list(nets)
+    level = 0
+    while len(current) > 1:
+        nxt = []
+        i = 0
+        while i < len(current):
+            group = current[i : i + 3] if len(current) - i == 3 else current[i : i + 2]
+            i += len(group)
+            if len(group) == 1:
+                nxt.append(group[0])
+                continue
+            final = i >= len(current) and not nxt
+            y = out if final else m.add_net(f"{prefix}_n{level}_{len(nxt)}")
+            cell = "AND3" if len(group) == 3 else "AND2"
+            m.add_instance(
+                f"{prefix}_g{level}_{len(nxt)}", cell, Y=y, **dict(zip("ABC", group))
+            )
+            nxt.append(y)
+        current = nxt
+        level += 1

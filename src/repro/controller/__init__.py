@@ -1,0 +1,6 @@
+"""Test Controller: session-sequencing FSM, behavioral and gate-level."""
+
+from repro.controller.fsm import SessionConfig, TestControllerModel
+from repro.controller.generator import make_test_controller
+
+__all__ = ["SessionConfig", "TestControllerModel", "make_test_controller"]

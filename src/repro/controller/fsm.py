@@ -1,0 +1,101 @@
+"""Test controller behavioral model.
+
+The Test Controller sequences the test sessions on-chip: it holds the
+current session, decodes per-core test-enable values (so TE signals need
+no chip pins — see :mod:`repro.sched.ioalloc`), broadcasts the wrapper
+serial controls during reconfiguration, and advances on a tester pulse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sched.result import ScheduleResult
+
+
+@dataclass(frozen=True)
+class SessionConfig:
+    """What the controller drives during one session."""
+
+    index: int
+    active_cores: tuple[str, ...]
+    scan_cores: tuple[str, ...]
+    te_values: dict[str, bool] = field(default_factory=dict, hash=False, compare=False)
+
+
+@dataclass
+class TestControllerModel:
+    """Behavioral session sequencer.
+
+    States: ``IDLE`` → (start) → ``CONFIG`` (program WIRs, settle TAM
+    muxes) → ``RUN`` → (session done) → ``CONFIG`` … → ``DONE``.
+    """
+
+    sessions: list[SessionConfig]
+    state: str = "IDLE"
+    current: int = -1
+
+    @classmethod
+    def from_schedule(cls, result: ScheduleResult) -> "TestControllerModel":
+        configs = []
+        for session in result.sessions:
+            actives = tuple(t.task.core_name for t in session.tests)
+            scans = tuple(t.task.core_name for t in session.tests if t.task.is_scan)
+            te_values = {core: True for core in actives}
+            configs.append(
+                SessionConfig(
+                    index=session.index,
+                    active_cores=actives,
+                    scan_cores=scans,
+                    te_values=te_values,
+                )
+            )
+        return cls(sessions=configs)
+
+    # -- stepping ------------------------------------------------------------
+
+    def start(self) -> None:
+        """Tester asserts start: enter the first session's CONFIG."""
+        if not self.sessions:
+            self.state = "DONE"
+            return
+        self.current = 0
+        self.state = "CONFIG"
+
+    def config_done(self) -> None:
+        """WIRs programmed and muxes settled: run the session."""
+        if self.state != "CONFIG":
+            raise RuntimeError(f"config_done in state {self.state}")
+        self.state = "RUN"
+
+    def session_done(self) -> None:
+        """Session finished: advance or complete."""
+        if self.state != "RUN":
+            raise RuntimeError(f"session_done in state {self.state}")
+        if self.current + 1 < len(self.sessions):
+            self.current += 1
+            self.state = "CONFIG"
+        else:
+            self.state = "DONE"
+
+    # -- outputs -------------------------------------------------------------
+
+    @property
+    def active_session(self) -> SessionConfig | None:
+        if 0 <= self.current < len(self.sessions) and self.state in ("CONFIG", "RUN"):
+            return self.sessions[self.current]
+        return None
+
+    def test_enable(self, core: str) -> bool:
+        """The TE value the controller drives for ``core`` right now."""
+        session = self.active_session
+        return bool(session and session.te_values.get(core, False))
+
+    @property
+    def select_wir(self) -> bool:
+        """WIR programming window is open during CONFIG."""
+        return self.state == "CONFIG"
+
+    @property
+    def done(self) -> bool:
+        return self.state == "DONE"

@@ -1,0 +1,142 @@
+"""Gate-level Test Controller generation ("TACS Generator", Fig. 1).
+
+The paper measures its DSC controller at "about 371 gates"; experiment
+E4 compares our generated area against that.  Structure:
+
+* a 2-bit state FSM (IDLE / CONFIG / RUN, DONE),
+* a session counter sized for the schedule,
+* per-session one-hot decode,
+* per-core test-enable outputs (OR of the sessions the core is active
+  in, gated by RUN) — this is what lets TE signals come off chip pins,
+* wrapper serial-control broadcast (``selectwir`` during CONFIG, shift /
+  capture / update passthroughs), and
+* the TAM session-select output feeding :mod:`repro.tam.mux`.
+"""
+
+from __future__ import annotations
+
+from repro.netlist import Module
+from repro.sched.result import ScheduleResult
+
+
+def make_test_controller(result: ScheduleResult, name: str = "test_controller") -> Module:
+    """Generate the controller netlist for a session schedule."""
+    n_sessions = max(1, len(result.sessions))
+    s_bits = max(1, (n_sessions - 1).bit_length())
+    cores = sorted({t.task.core_name for s in result.sessions for t in s.tests})
+
+    m = Module(name)
+    for port in ("tck", "trstn", "start", "next_session", "config_done"):
+        m.add_input(port)
+    for port in ("selectwir", "shift_bcast", "capture_bcast", "update_bcast", "done"):
+        m.add_output(port)
+    m.add_input("shiftwr")
+    m.add_input("capturewr")
+    m.add_input("updatewr")
+    for core in cores:
+        m.add_output(f"te_{core}")
+    for b in range(s_bits):
+        m.add_output(f"session_sel{b}")
+
+    # --- state FSM: s1 s0 = 00 idle, 01 config, 10 run, 11 done ------------
+    m.add_instance("u_s0_inv", "INV", A="n_s0", Y="n_s0_n")
+    m.add_instance("u_s1_inv", "INV", A="n_s1", Y="n_s1_n")
+    m.add_instance("u_idle", "AND2", A="n_s1_n", B="n_s0_n", Y="n_idle")
+    m.add_instance("u_cfg", "AND2", A="n_s1_n", B="n_s0", Y="n_config")
+    m.add_instance("u_run", "AND2", A="n_s1", B="n_s0_n", Y="n_run")
+    m.add_instance("u_done_st", "AND2", A="n_s1", B="n_s0", Y="n_done_st")
+    # at-last-session detect
+    last = n_sessions - 1
+    last_literals = [
+        f"n_c{b}" if (last >> b) & 1 else f"n_c{b}_n" for b in range(s_bits)
+    ]
+    _tree(m, last_literals, "n_at_last", "AND", "u_last")
+    # transitions
+    m.add_instance("u_t_start", "AND2", A="n_idle", B="start", Y="n_go")
+    m.add_instance("u_t_cfg", "AND2", A="n_config", B="config_done", Y="n_to_run")
+    m.add_instance("u_t_next", "AND2", A="n_run", B="next_session", Y="n_adv")
+    m.add_instance("u_t_fin", "AND2", A="n_adv", B="n_at_last", Y="n_finish")
+    m.add_instance("u_fin_inv", "INV", A="n_at_last", Y="n_not_last")
+    m.add_instance("u_t_more", "AND2", A="n_adv", B="n_not_last", Y="n_to_cfg")
+    # next-state logic: s0' = go | to_cfg | (config & !config_done) | done&s0
+    m.add_instance("u_hold_cfg", "INV", A="config_done", Y="n_cfgd_n")
+    m.add_instance("u_s0_h", "AND2", A="n_config", B="n_cfgd_n", Y="n_s0_hold")
+    m.add_instance("u_s0_o1", "OR3", A="n_go", B="n_to_cfg", C="n_s0_hold", Y="n_s0_p")
+    m.add_instance("u_s0_o2", "OR3", A="n_s0_p", B="n_finish", C="n_done_st", Y="n_s0_d")
+    # s1' = to_run | (run & !adv) | finish | done
+    m.add_instance("u_adv_inv", "INV", A="n_adv", Y="n_adv_n")
+    m.add_instance("u_s1_h", "AND2", A="n_run", B="n_adv_n", Y="n_s1_hold")
+    m.add_instance("u_s1_o1", "OR3", A="n_to_run", B="n_s1_hold", C="n_finish", Y="n_s1_p")
+    m.add_instance("u_s1_o2", "OR3", A="n_s1_p", B="n_done_st", C="n_to_cfg_z", Y="n_s1_d")
+    m.add_instance("u_z_tie", "TIE0", Y="n_to_cfg_z")
+    m.add_instance("u_s0_ff", "DFFR", D="n_s0_d", CK="tck", RN="trstn", Q="n_s0")
+    m.add_instance("u_s1_ff", "DFFR", D="n_s1_d", CK="tck", RN="trstn", Q="n_s1")
+    m.add_instance("u_done_buf", "BUF", A="n_done_st", Y="done")
+
+    # --- session counter ------------------------------------------------------
+    carry = "n_to_cfg"
+    for b in range(s_bits):
+        q = f"n_c{b}"
+        m.add_instance(f"u_cx{b}", "XOR2", A=q, B=carry, Y=f"n_cn{b}")
+        m.add_instance(f"u_cc{b}", "AND2", A=q, B=carry, Y=f"n_cy{b}")
+        m.add_instance(f"u_cf{b}", "DFFR", D=f"n_cn{b}", CK="tck", RN="trstn", Q=q)
+        m.add_instance(f"u_ci{b}", "INV", A=q, Y=f"n_c{b}_n")
+        m.add_instance(f"u_co{b}", "BUF", A=q, Y=f"session_sel{b}")
+        carry = f"n_cy{b}"
+
+    # --- per-session decode -------------------------------------------------------
+    for s in range(n_sessions):
+        literals = [f"n_c{b}" if (s >> b) & 1 else f"n_c{b}_n" for b in range(s_bits)]
+        _tree(m, literals, m.add_net(f"n_ses{s}"), "AND", f"u_sd{s}")
+
+    # --- per-core TE: OR of (session decode & run) over active sessions ---------
+    active: dict[str, list[int]] = {core: [] for core in cores}
+    for session in result.sessions:
+        for test in session.tests:
+            active[test.task.core_name].append(session.index)
+    for core in cores:
+        terms = []
+        for s in sorted(set(active[core])):
+            net = m.add_net(f"n_te_{core}_{s}")
+            m.add_instance(f"u_te_{core}_{s}", "AND2", A=f"n_ses{s}", B="n_run", Y=net)
+            terms.append(net)
+        _tree(m, terms, f"te_{core}", "OR", f"u_teor_{core}")
+
+    # --- wrapper serial control broadcast -----------------------------------------
+    m.add_instance("u_selw", "BUF", A="n_config", Y="selectwir")
+    m.add_instance("u_shb", "BUF", A="shiftwr", Y="shift_bcast")
+    m.add_instance("u_cpb", "BUF", A="capturewr", Y="capture_bcast")
+    m.add_instance("u_upb", "BUF", A="updatewr", Y="update_bcast")
+    return m
+
+
+def _tree(m: Module, nets: list[str], out: str, kind: str, prefix: str) -> None:
+    cell2, cell3 = (("AND2", "AND3") if kind == "AND" else ("OR2", "OR3"))
+    if not nets:
+        m.add_instance(f"{prefix}_tie", "TIE0", Y=out)
+        return
+    if len(nets) == 1:
+        m.add_instance(f"{prefix}_buf", "BUF", A=nets[0], Y=out)
+        return
+    current = list(nets)
+    level = 0
+    while len(current) > 1:
+        nxt = []
+        i = 0
+        while i < len(current):
+            group = current[i : i + 3] if len(current) - i == 3 else current[i : i + 2]
+            i += len(group)
+            if len(group) == 1:
+                nxt.append(group[0])
+                continue
+            final = i >= len(current) and not nxt
+            y = out if final else m.add_net(f"{prefix}_t{level}_{len(nxt)}")
+            m.add_instance(
+                f"{prefix}_g{level}_{len(nxt)}",
+                cell3 if len(group) == 3 else cell2,
+                Y=y,
+                **dict(zip("ABC", group)),
+            )
+            nxt.append(y)
+        current = nxt
+        level += 1

@@ -1,0 +1,5 @@
+"""STEAC: the SOC test integration platform (the paper's contribution)."""
+
+from repro.core.steac import IntegrationResult, Steac, SteacConfig
+
+__all__ = ["IntegrationResult", "Steac", "SteacConfig"]

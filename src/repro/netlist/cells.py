@@ -1,0 +1,198 @@
+"""Standard-cell library with NAND2-equivalent areas.
+
+The paper quotes all DFT overhead in "two-input NAND gates" (the WBR cell
+is "equivalent to 26 two-input NAND gates"; the test controller and TAM
+mux "require about 371 and 132 gates").  We therefore measure every
+generated circuit in NAND2 equivalents, using a small library with
+representative area ratios for a 0.25 µm standard-cell process.
+
+Combinational cells carry an evaluation function over 3-valued logic
+(0, 1, X); sequential cells (DFF variants, latches) are state elements
+handled by the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+#: Logic values used by the simulator: 0, 1 and unknown.
+LOW, HIGH, X = 0, 1, 2
+
+
+def _and2(a: int, b: int) -> int:
+    if a == LOW or b == LOW:
+        return LOW
+    if a == HIGH and b == HIGH:
+        return HIGH
+    return X
+
+
+def _or2(a: int, b: int) -> int:
+    if a == HIGH or b == HIGH:
+        return HIGH
+    if a == LOW and b == LOW:
+        return LOW
+    return X
+
+
+def _not(a: int) -> int:
+    if a == LOW:
+        return HIGH
+    if a == HIGH:
+        return LOW
+    return X
+
+
+def _xor2(a: int, b: int) -> int:
+    if X in (a, b):
+        return X
+    return a ^ b
+
+
+def _mux2(d0: int, d1: int, s: int) -> int:
+    if s == LOW:
+        return d0
+    if s == HIGH:
+        return d1
+    # unknown select: output known only if both data inputs agree
+    return d0 if d0 == d1 else X
+
+
+@dataclass(frozen=True)
+class Cell:
+    """A library cell.
+
+    Attributes:
+        name: cell name (e.g. ``"NAND2"``).
+        inputs: ordered input pin names.
+        outputs: ordered output pin names (all our cells have one).
+        area: NAND2-equivalent gate count.
+        func: for combinational cells, maps input values (in pin order)
+            to the output value; ``None`` for sequential cells.
+        sequential: True for flip-flops and latches.
+        clock_pin / data_pin / reset_pin / enable_pin: pin roles for
+            sequential cells (reset is active-low asynchronous).
+    """
+
+    name: str
+    inputs: tuple[str, ...]
+    outputs: tuple[str, ...]
+    area: float
+    func: Optional[Callable[..., int]] = None
+    sequential: bool = False
+    clock_pin: Optional[str] = None
+    data_pin: Optional[str] = None
+    reset_pin: Optional[str] = None
+    enable_pin: Optional[str] = None
+
+    @property
+    def output(self) -> str:
+        """The single output pin name."""
+        return self.outputs[0]
+
+    @property
+    def pins(self) -> tuple[str, ...]:
+        return self.inputs + self.outputs
+
+
+def _comb(name: str, inputs: tuple[str, ...], area: float, func) -> Cell:
+    return Cell(name=name, inputs=inputs, outputs=("Y",), area=area, func=func)
+
+
+#: The library, keyed by cell name.  Areas in NAND2 equivalents.
+LIBRARY: dict[str, Cell] = {}
+
+
+def _register(cell: Cell) -> Cell:
+    LIBRARY[cell.name] = cell
+    return cell
+
+
+INV = _register(_comb("INV", ("A",), 0.7, _not))
+BUF = _register(_comb("BUF", ("A",), 1.0, lambda a: a))
+NAND2 = _register(_comb("NAND2", ("A", "B"), 1.0, lambda a, b: _not(_and2(a, b))))
+NAND3 = _register(
+    _comb("NAND3", ("A", "B", "C"), 1.5, lambda a, b, c: _not(_and2(_and2(a, b), c)))
+)
+NOR2 = _register(_comb("NOR2", ("A", "B"), 1.0, lambda a, b: _not(_or2(a, b))))
+NOR3 = _register(_comb("NOR3", ("A", "B", "C"), 1.5, lambda a, b, c: _not(_or2(_or2(a, b), c))))
+AND2 = _register(_comb("AND2", ("A", "B"), 1.5, _and2))
+AND3 = _register(_comb("AND3", ("A", "B", "C"), 2.0, lambda a, b, c: _and2(_and2(a, b), c)))
+OR2 = _register(_comb("OR2", ("A", "B"), 1.5, _or2))
+OR3 = _register(_comb("OR3", ("A", "B", "C"), 2.0, lambda a, b, c: _or2(_or2(a, b), c)))
+XOR2 = _register(_comb("XOR2", ("A", "B"), 2.5, _xor2))
+XNOR2 = _register(_comb("XNOR2", ("A", "B"), 2.5, lambda a, b: _not(_xor2(a, b))))
+MUX2 = _register(
+    Cell(name="MUX2", inputs=("D0", "D1", "S"), outputs=("Y",), area=2.5, func=_mux2)
+)
+TIE0 = _register(Cell(name="TIE0", inputs=(), outputs=("Y",), area=0.5, func=lambda: LOW))
+TIE1 = _register(Cell(name="TIE1", inputs=(), outputs=("Y",), area=0.5, func=lambda: HIGH))
+
+DFF = _register(
+    Cell(
+        name="DFF",
+        inputs=("D", "CK"),
+        outputs=("Q",),
+        area=7.0,
+        sequential=True,
+        clock_pin="CK",
+        data_pin="D",
+    )
+)
+DFFR = _register(
+    Cell(
+        name="DFFR",
+        inputs=("D", "CK", "RN"),
+        outputs=("Q",),
+        area=8.0,
+        sequential=True,
+        clock_pin="CK",
+        data_pin="D",
+        reset_pin="RN",
+    )
+)
+DFFE = _register(
+    Cell(
+        name="DFFE",
+        inputs=("D", "CK", "E"),
+        outputs=("Q",),
+        area=9.0,
+        sequential=True,
+        clock_pin="CK",
+        data_pin="D",
+        enable_pin="E",
+    )
+)
+SDFF = _register(
+    # Scan flip-flop: D/SI muxed by SE in front of a DFF.
+    Cell(
+        name="SDFF",
+        inputs=("D", "SI", "SE", "CK"),
+        outputs=("Q",),
+        area=9.5,
+        sequential=True,
+        clock_pin="CK",
+        data_pin="D",  # effective D resolved by the simulator from SE
+    )
+)
+DLATCH = _register(
+    # Transparent-high latch (used as the WBC update stage).
+    Cell(
+        name="DLATCH",
+        inputs=("D", "G"),
+        outputs=("Q",),
+        area=4.0,
+        sequential=True,
+        clock_pin="G",
+        data_pin="D",
+    )
+)
+
+
+def cell(name: str) -> Cell:
+    """Look up a library cell by name."""
+    try:
+        return LIBRARY[name]
+    except KeyError:
+        raise KeyError(f"no cell {name!r} in library") from None

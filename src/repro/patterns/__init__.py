@@ -1,0 +1,35 @@
+"""Test patterns: core-level containers, wrapper/chip translation, and
+the cycle-based ATE program model (paper's "Pattern Translator")."""
+
+from repro.patterns.ate import AteCycle, AteProgram, ReplayMismatch, replay
+from repro.patterns.core_patterns import (
+    CorePatternSet,
+    FunctionalVector,
+    ScanVector,
+)
+from repro.patterns.translate import (
+    chip_scan_program,
+    WrapperPatternSet,
+    WrapperVector,
+    chip_level_program,
+    translate_core_to_wrapper,
+    wrapper_functional_program,
+    wrapper_scan_program,
+)
+
+__all__ = [
+    "AteCycle",
+    "AteProgram",
+    "ReplayMismatch",
+    "replay",
+    "CorePatternSet",
+    "FunctionalVector",
+    "ScanVector",
+    "WrapperPatternSet",
+    "WrapperVector",
+    "chip_level_program",
+    "chip_scan_program",
+    "translate_core_to_wrapper",
+    "wrapper_functional_program",
+    "wrapper_scan_program",
+]

@@ -1,0 +1,126 @@
+"""Cycle-based ATE program model.
+
+"The test patterns are cycle based, which can be applied by external ATE
+easily" (paper, Section 2).  An :class:`AteProgram` is a flat list of
+tester cycles; each cycle drives some pins and compares some others.
+Programs can be exported as a simple tabular vector file and *replayed*
+against a netlist through the logic simulator — the reproduction's stand-
+in for the external tester.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.netlist import HIGH, LOW, X, Simulator
+
+_DRIVE_VALUES = {"0": LOW, "1": HIGH, "X": X}
+_EXPECT_VALUES = {"L": LOW, "H": HIGH}
+
+
+@dataclass
+class AteCycle:
+    """One tester cycle: pin drives and strobed comparisons.
+
+    ``drive`` maps pin → '0'/'1'/'X'; ``expect`` maps pin → 'L'/'H'/'X'
+    ('X' = no strobe).  ``pulse`` lists clock pins pulsed this cycle.
+    """
+
+    drive: dict[str, str] = field(default_factory=dict)
+    expect: dict[str, str] = field(default_factory=dict)
+    pulse: tuple[str, ...] = ()
+    label: str = ""
+
+
+@dataclass
+class AteProgram:
+    """A cycle-based test program for one test (or one session)."""
+
+    name: str
+    cycles: list[AteCycle] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.cycles)
+
+    @property
+    def cycle_count(self) -> int:
+        return len(self.cycles)
+
+    @property
+    def pins(self) -> list[str]:
+        """All pins referenced, drives first, sorted within each group."""
+        drives: set[str] = set()
+        expects: set[str] = set()
+        for cycle in self.cycles:
+            drives.update(cycle.drive)
+            expects.update(cycle.expect)
+        return sorted(drives) + sorted(expects - drives)
+
+    def add(self, drive=None, expect=None, pulse=(), label="", repeat: int = 1) -> None:
+        """Append ``repeat`` identical cycles."""
+        for _ in range(repeat):
+            self.cycles.append(
+                AteCycle(dict(drive or {}), dict(expect or {}), tuple(pulse), label)
+            )
+
+    def export(self) -> str:
+        """Tabular vector text: one row per cycle, one column per pin."""
+        pins = self.pins
+        lines = [f"# program {self.name}: {self.cycle_count} cycles"]
+        lines.append("# " + " ".join(pins))
+        for cycle in self.cycles:
+            row = []
+            for pin in pins:
+                if pin in cycle.drive:
+                    row.append(cycle.drive[pin])
+                elif pin in cycle.expect:
+                    row.append(cycle.expect[pin])
+                else:
+                    row.append(".")
+            lines.append(" ".join(row))
+        return "\n".join(lines)
+
+
+@dataclass
+class ReplayMismatch:
+    """One strobed comparison that failed during replay."""
+
+    cycle: int
+    pin: str
+    expected: str
+    observed: int
+    label: str = ""
+
+
+def replay(
+    program: AteProgram,
+    sim: Simulator,
+    clock_net: str,
+    max_mismatches: int = 20,
+) -> list[ReplayMismatch]:
+    """Replay a program against a simulated netlist.
+
+    Per cycle: apply drives, evaluate, strobe expects, then clock.
+    Returns the (possibly truncated) mismatch list; empty = pass.
+    """
+    mismatches: list[ReplayMismatch] = []
+    for index, cycle in enumerate(program.cycles):
+        for pin, value in cycle.drive.items():
+            sim.poke(pin, _DRIVE_VALUES[value.upper()])
+        sim.evaluate()
+        for pin, value in cycle.expect.items():
+            value = value.upper()
+            if value == "X":
+                continue
+            observed = sim.get(pin)
+            if observed != _EXPECT_VALUES[value]:
+                mismatches.append(
+                    ReplayMismatch(index, pin, value, observed, cycle.label)
+                )
+                if len(mismatches) >= max_mismatches:
+                    return mismatches
+        sim.clock(clock_net)
+        for extra in cycle.pulse:
+            if extra != clock_net:
+                sim.clock(extra)
+    return mismatches

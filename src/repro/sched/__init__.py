@@ -1,0 +1,68 @@
+"""The Core Test Scheduler: session-based scheduling under test-IO and
+power constraints, the non-session baseline, an exact MILP, and the
+supporting test-time / IO-sharing / rebalancing models."""
+
+from repro.sched.ioalloc import (
+    BIST_PORT_PINS,
+    SharingPolicy,
+    control_pins,
+    data_pins_available,
+    io_sharing_report,
+)
+from repro.sched.nonsession import schedule_nonsession
+from repro.sched.power import PowerTimeline, fits_power_budget, session_power
+from repro.sched.rebalance import RebalanceAdvice, rebalance_advice, rebalance_report
+from repro.sched.result import ScheduledTest, ScheduleResult, Session, TestTask
+from repro.sched.session import (
+    InfeasibleScheduleError,
+    assign_widths,
+    build_session,
+    schedule_serial,
+    schedule_sessions,
+)
+from repro.sched.tasks import scan_max_width, tasks_from_core, tasks_from_soc
+from repro.sched.timecalc import (
+    FUNCTIONAL_SETUP_CYCLES,
+    SESSION_RECONFIG_CYCLES,
+    WIR_PROGRAM_CYCLES,
+    best_width_time,
+    core_scan_time,
+    functional_test_time,
+    make_scan_time_fn,
+    scan_test_time,
+)
+
+__all__ = [
+    "BIST_PORT_PINS",
+    "SharingPolicy",
+    "control_pins",
+    "data_pins_available",
+    "io_sharing_report",
+    "schedule_nonsession",
+    "PowerTimeline",
+    "fits_power_budget",
+    "session_power",
+    "RebalanceAdvice",
+    "rebalance_advice",
+    "rebalance_report",
+    "ScheduledTest",
+    "ScheduleResult",
+    "Session",
+    "TestTask",
+    "InfeasibleScheduleError",
+    "assign_widths",
+    "build_session",
+    "schedule_serial",
+    "schedule_sessions",
+    "scan_max_width",
+    "tasks_from_core",
+    "tasks_from_soc",
+    "best_width_time",
+    "core_scan_time",
+    "functional_test_time",
+    "make_scan_time_fn",
+    "scan_test_time",
+    "FUNCTIONAL_SETUP_CYCLES",
+    "SESSION_RECONFIG_CYCLES",
+    "WIR_PROGRAM_CYCLES",
+]

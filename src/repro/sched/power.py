@@ -1,0 +1,65 @@
+"""Power accounting for test schedules.
+
+Concurrent tests dissipate more than mission mode (every scan flop
+toggles), so schedulers must respect a chip-level power ceiling.  The
+paper's scheduler "assigns the TAM wires to each core to meet the power
+and IO resource constraints"; this module provides the two checks the
+schedulers use.
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from dataclasses import dataclass, field
+
+from repro.sched.result import TestTask
+
+
+def session_power(tasks: list[TestTask]) -> float:
+    """Power drawn by a session (all members run concurrently)."""
+    return sum(t.power for t in tasks)
+
+
+def fits_power_budget(tasks: list[TestTask], budget: float) -> bool:
+    """True if the concurrent set respects ``budget`` (0 = unconstrained)."""
+    return budget <= 0 or session_power(tasks) <= budget
+
+
+@dataclass
+class PowerTimeline:
+    """Piecewise-constant power usage over time, for the non-session
+    (rectangle packing) scheduler.
+
+    Intervals are half-open ``[start, finish)``.
+    """
+
+    budget: float = 0.0
+    _intervals: list[tuple[int, int, float]] = field(default_factory=list)
+
+    @property
+    def intervals(self) -> list[tuple[int, int, float]]:
+        """Recorded (start, finish, power) intervals."""
+        return list(self._intervals)
+
+    def add(self, start: int, finish: int, power: float) -> None:
+        """Record a placed task's draw."""
+        if power > 0 and finish > start:
+            self._intervals.append((start, finish, power))
+
+    def usage_at(self, t: int) -> float:
+        """Total draw at time ``t``."""
+        return sum(p for s, f, p in self._intervals if s <= t < f)
+
+    def peak(self, start: int, finish: int) -> float:
+        """Maximum draw over ``[start, finish)``."""
+        points = {start}
+        for s, __, __ in self._intervals:
+            if start < s < finish:
+                points.add(s)
+        return max((self.usage_at(t) for t in points), default=0.0)
+
+    def fits(self, start: int, finish: int, power: float) -> bool:
+        """Can a task drawing ``power`` run in ``[start, finish)``?"""
+        if self.budget <= 0:
+            return True
+        return self.peak(start, finish) + power <= self.budget + 1e-9

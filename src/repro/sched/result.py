@@ -1,0 +1,156 @@
+"""Schedulable test tasks and schedule results.
+
+The Core Test Scheduler operates on :class:`TestTask` objects — one per
+(core, test) pair plus one per memory-BIST group.  A task knows its
+control-IO needs, its power draw, and either a fixed duration
+(functional, BIST) or a width-dependent duration (scan through a TAM of
+``w`` wires).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.soc.core import ControlNeeds
+from repro.soc.tests import TestKind
+from repro.util import Table, format_cycles
+
+
+@dataclass
+class TestTask:
+    """One schedulable test.
+
+    Attributes:
+        name: unique task name (``"USB.usb_scan"``, ``"mbist.g0"``).
+        core_name: owning core (tasks of the same core never overlap).
+        kind: scan / functional / bist.
+        control: control-IO classes needed while the task runs.
+        clock_domains: clock-domain names needing test clock pins.
+        power: abstract power units drawn while running.
+        fixed_time: duration in cycles for width-independent tasks.
+        time_fn: ``width -> cycles`` for scan tasks (monotone
+            non-increasing); when set, ``fixed_time`` is ignored.
+        max_width: largest useful TAM width for this task.
+        uses_functional_pins: functional tests occupy the chip's
+            functional pin interface — at most one such task at a time.
+        uses_bist_port: BIST tasks share the chip's BIST access port.
+    """
+
+    name: str
+    core_name: str
+    kind: TestKind
+    control: ControlNeeds = field(default_factory=ControlNeeds)
+    clock_domains: tuple[str, ...] = ()
+    power: float = 0.0
+    fixed_time: int = 0
+    time_fn: Optional[Callable[[int], int]] = None
+    max_width: int = 1
+    uses_functional_pins: bool = False
+    uses_bist_port: bool = False
+
+    @property
+    def is_scan(self) -> bool:
+        return self.time_fn is not None
+
+    def time(self, width: int = 1) -> int:
+        """Duration in cycles at the given TAM width."""
+        if self.time_fn is not None:
+            return self.time_fn(min(width, self.max_width))
+        return self.fixed_time
+
+    @property
+    def min_time(self) -> int:
+        """Duration at the task's own maximum useful width."""
+        return self.time(self.max_width)
+
+    @property
+    def serial_time(self) -> int:
+        """Duration at width 1 (fully serialized)."""
+        return self.time(1)
+
+
+@dataclass
+class ScheduledTest:
+    """A task placed in a schedule: its width, start and finish."""
+
+    task: TestTask
+    width: int = 1
+    start: int = 0
+
+    @property
+    def length(self) -> int:
+        return self.task.time(self.width)
+
+    @property
+    def finish(self) -> int:
+        return self.start + self.length
+
+
+@dataclass
+class Session:
+    """One test session: tests that run concurrently."""
+
+    index: int
+    tests: list[ScheduledTest] = field(default_factory=list)
+    control_pins: int = 0
+    data_pins: int = 0
+
+    @property
+    def length(self) -> int:
+        """Session duration = slowest member."""
+        return max((t.length for t in self.tests), default=0)
+
+    @property
+    def power(self) -> float:
+        return sum(t.task.power for t in self.tests)
+
+    @property
+    def task_names(self) -> list[str]:
+        return [t.task.name for t in self.tests]
+
+
+@dataclass
+class ScheduleResult:
+    """Outcome of a scheduling run.
+
+    ``total_time`` includes inter-session reconfiguration overhead for
+    session-based schedules; for non-session schedules it is the makespan.
+    """
+
+    soc_name: str
+    strategy: str
+    sessions: list[Session] = field(default_factory=list)
+    total_time: int = 0
+    pin_budget: int = 0
+    notes: str = ""
+
+    @property
+    def session_count(self) -> int:
+        return len(self.sessions)
+
+    def render(self) -> str:
+        """ASCII schedule report."""
+        table = Table(
+            ["Session", "Tests (width)", "Control", "Data", "Length"],
+            title=f"{self.strategy} schedule for {self.soc_name} "
+            f"(pin budget {self.pin_budget})",
+        )
+        for session in self.sessions:
+            names = ", ".join(
+                f"{t.task.name}(w{t.width})" if t.task.is_scan else t.task.name
+                for t in session.tests
+            )
+            table.add_row(
+                [
+                    session.index,
+                    names,
+                    session.control_pins,
+                    session.data_pins,
+                    format_cycles(session.length),
+                ]
+            )
+        lines = [table.render(), f"total test time: {format_cycles(self.total_time)} cycles"]
+        if self.notes:
+            lines.append(self.notes)
+        return "\n".join(lines)

@@ -1,0 +1,281 @@
+"""Session-based test scheduling (the paper's core contribution).
+
+"The Scheduler partitions core tests into several test sessions, and
+assigns the TAM wires to each core to meet the power and IO resource
+constraints" (Section 2).  A *session* is a set of tests that run
+concurrently; the chip is reconfigured between sessions, so control pins
+are only needed for the session's members — the whole reason
+session-based scheduling beats non-session scheduling under tight IO
+budgets (Section 3).
+
+Algorithm: for each candidate session count ``k``, seed with a
+longest-first greedy placement, then improve with first-improvement
+local search (single-task moves and pairwise swaps).  Width assignment
+inside a session is exact given the membership: wires go to the critical
+(longest) scan task until it stops improving.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from repro.sched.ioalloc import SharingPolicy, control_pins
+from repro.sched.power import fits_power_budget
+from repro.sched.result import ScheduledTest, ScheduleResult, Session, TestTask
+from repro.sched.timecalc import SESSION_RECONFIG_CYCLES
+from repro.soc.soc import Soc
+
+
+class InfeasibleScheduleError(ValueError):
+    """Raised when no feasible schedule exists for the given resources."""
+
+
+def assign_widths(tasks: list[TestTask], data_pins: int) -> Optional[dict[str, int]]:
+    """Assign TAM wire pairs to the scan tasks of one session.
+
+    A width-``w`` connection costs ``2w`` data pins (w in + w out).
+    Returns task-name → width, or ``None`` if the scan tasks cannot all
+    get at least one wire pair.
+    """
+    scan_tasks = [t for t in tasks if t.is_scan]
+    if not scan_tasks:
+        return {}
+    pairs = data_pins // 2
+    if pairs < len(scan_tasks):
+        return None
+    widths = {t.name: 1 for t in scan_tasks}
+    remaining = pairs - len(scan_tasks)
+    while remaining > 0:
+        # the session is as long as its slowest member: widen that one
+        order = sorted(scan_tasks, key=lambda t: -t.time(widths[t.name]))
+        granted = False
+        for task in order:
+            w = widths[task.name]
+            current = task.time(w)
+            # smallest extra wires that actually shorten this task
+            for extra in range(1, remaining + 1):
+                if w + extra > task.max_width:
+                    break
+                if task.time(w + extra) < current:
+                    widths[task.name] = w + extra
+                    remaining -= extra
+                    granted = True
+                    break
+            if granted:
+                break
+            if task is order[0] and w >= task.max_width:
+                # critical task saturated: no grant can shorten the session
+                return widths
+        if not granted:
+            break
+    return widths
+
+
+def build_session(
+    index: int,
+    tasks: list[TestTask],
+    soc: Soc,
+    policy: SharingPolicy = SharingPolicy(),
+) -> Optional[Session]:
+    """Materialize a session from a membership set, or ``None`` if the
+    membership violates a constraint (mutexes, power, pins)."""
+    if not tasks:
+        return Session(index=index)
+    # per-core mutex: a core's tests cannot run concurrently
+    cores = [t.core_name for t in tasks]
+    if len(cores) != len(set(cores)):
+        return None
+    # the chip functional interface serves one functional test at a time
+    if sum(1 for t in tasks if t.uses_functional_pins) > 1:
+        return None
+    if not fits_power_budget(tasks, soc.power_budget):
+        return None
+    ctrl = control_pins(tasks, policy)
+    if ctrl > soc.test_pins:
+        return None
+    data = soc.test_pins - ctrl
+    widths = assign_widths(tasks, data)
+    if widths is None:
+        return None
+    scheduled = [
+        ScheduledTest(task=t, width=widths.get(t.name, 1), start=0) for t in tasks
+    ]
+    return Session(index=index, tests=scheduled, control_pins=ctrl, data_pins=data)
+
+
+def _total_time(sessions: list[Session], reconfig: int) -> int:
+    used = [s for s in sessions if s.tests]
+    if not used:
+        return 0
+    return sum(s.length for s in used) + reconfig * (len(used) - 1)
+
+
+def _materialize(
+    memberships: list[list[TestTask]], soc: Soc, policy: SharingPolicy
+) -> Optional[list[Session]]:
+    sessions = []
+    for i, members in enumerate(memberships):
+        session = build_session(i, members, soc, policy)
+        if session is None:
+            return None
+        sessions.append(session)
+    return sessions
+
+
+def _greedy_seed(
+    tasks: list[TestTask], k: int, soc: Soc, policy: SharingPolicy, reconfig: int
+) -> Optional[list[list[TestTask]]]:
+    memberships: list[list[TestTask]] = [[] for _ in range(k)]
+    for task in sorted(tasks, key=lambda t: -t.min_time):
+        best_idx, best_total = None, None
+        for i in range(k):
+            trial = [list(m) for m in memberships]
+            trial[i].append(task)
+            sessions = _materialize(trial, soc, policy)
+            if sessions is None:
+                continue
+            total = _total_time(sessions, reconfig)
+            if best_total is None or total < best_total:
+                best_idx, best_total = i, total
+        if best_idx is None:
+            return None
+        memberships[best_idx].append(task)
+    return memberships
+
+
+def _local_search(
+    memberships: list[list[TestTask]],
+    soc: Soc,
+    policy: SharingPolicy,
+    reconfig: int,
+    max_rounds: int = 60,
+) -> list[list[TestTask]]:
+    best = [list(m) for m in memberships]
+    sessions = _materialize(best, soc, policy)
+    best_total = _total_time(sessions, reconfig)
+    for _ in range(max_rounds):
+        improved = False
+        # single-task moves
+        for src, dst in itertools.permutations(range(len(best)), 2):
+            for task in list(best[src]):
+                trial = [list(m) for m in best]
+                trial[src].remove(task)
+                trial[dst].append(task)
+                sessions = _materialize(trial, soc, policy)
+                if sessions is None:
+                    continue
+                total = _total_time(sessions, reconfig)
+                if total < best_total:
+                    best, best_total, improved = trial, total, True
+                    break
+            if improved:
+                break
+        if improved:
+            continue
+        # pairwise swaps
+        for a, b in itertools.combinations(range(len(best)), 2):
+            for ta in list(best[a]):
+                for tb in list(best[b]):
+                    trial = [list(m) for m in best]
+                    trial[a].remove(ta)
+                    trial[b].remove(tb)
+                    trial[a].append(tb)
+                    trial[b].append(ta)
+                    sessions = _materialize(trial, soc, policy)
+                    if sessions is None:
+                        continue
+                    total = _total_time(sessions, reconfig)
+                    if total < best_total:
+                        best, best_total, improved = trial, total, True
+                        break
+                if improved:
+                    break
+            if improved:
+                break
+        if not improved:
+            break
+    return best
+
+
+def schedule_sessions(
+    soc: Soc,
+    tasks: list[TestTask],
+    n_sessions: int | None = None,
+    policy: SharingPolicy = SharingPolicy(),
+    reconfig: int = SESSION_RECONFIG_CYCLES,
+    max_sessions: int = 8,
+) -> ScheduleResult:
+    """Session-based schedule for ``tasks`` on ``soc``.
+
+    When ``n_sessions`` is None, session counts 1..min(#tasks,
+    ``max_sessions``) are searched and the best feasible result returned.
+    """
+    if not tasks:
+        return ScheduleResult(soc_name=soc.name, strategy="session-based",
+                              pin_budget=soc.test_pins)
+    candidates = (
+        [n_sessions] if n_sessions is not None else list(range(1, min(len(tasks), max_sessions) + 1))
+    )
+    best_sessions: Optional[list[Session]] = None
+    best_total: Optional[int] = None
+    for k in candidates:
+        seed = _greedy_seed(tasks, k, soc, policy, reconfig)
+        if seed is None:
+            continue
+        improved = _local_search(seed, soc, policy, reconfig)
+        sessions = _materialize(improved, soc, policy)
+        total = _total_time(sessions, reconfig)
+        if best_total is None or total < best_total:
+            best_sessions, best_total = sessions, total
+    if best_sessions is None:
+        raise InfeasibleScheduleError(
+            f"no feasible session schedule for {soc.name!r} with "
+            f"{soc.test_pins} pins (tried {candidates} sessions)"
+        )
+    used = [s for s in best_sessions if s.tests]
+    # renumber and set start offsets
+    offset = 0
+    for i, session in enumerate(used):
+        session.index = i
+        for test in session.tests:
+            test.start = offset
+        offset += session.length + reconfig
+    return ScheduleResult(
+        soc_name=soc.name,
+        strategy="session-based",
+        sessions=used,
+        total_time=best_total,
+        pin_budget=soc.test_pins,
+        notes=f"{len(used)} sessions, reconfig {reconfig} cycles each",
+    )
+
+
+def schedule_serial(
+    soc: Soc,
+    tasks: list[TestTask],
+    policy: SharingPolicy = SharingPolicy(),
+    reconfig: int = SESSION_RECONFIG_CYCLES,
+) -> ScheduleResult:
+    """Fully serial baseline: one task per session, each at max width."""
+    memberships = [[t] for t in sorted(tasks, key=lambda t: -t.min_time)]
+    sessions = _materialize(memberships, soc, policy)
+    if sessions is None:
+        raise InfeasibleScheduleError(
+            f"serial schedule infeasible for {soc.name!r}: some single test "
+            f"does not fit in {soc.test_pins} pins"
+        )
+    offset = 0
+    for i, session in enumerate(sessions):
+        session.index = i
+        for test in session.tests:
+            test.start = offset
+        offset += session.length + reconfig
+    return ScheduleResult(
+        soc_name=soc.name,
+        strategy="serial",
+        sessions=sessions,
+        total_time=_total_time(sessions, reconfig),
+        pin_budget=soc.test_pins,
+        notes=f"{len(sessions)} single-test sessions",
+    )

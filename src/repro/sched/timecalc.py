@@ -1,0 +1,86 @@
+"""Test-time models.
+
+The wrapped-core scan-test formula is the standard cycle-accurate model
+(Iyengar/Chakrabarty/Marinissen) the whole TAM literature uses::
+
+    T = (1 + max(si, so)) * p + min(si, so)
+
+for ``p`` patterns through wrapper scan-in/out depths ``si``/``so``: each
+pattern needs ``max(si, so)`` shift cycles (load of pattern *i* overlaps
+unload of pattern *i-1*) plus one capture cycle, and the last response
+needs a final ``min(si, so)`` flush (the shorter side finishes inside the
+next-to-last overlap).  The pattern translator reproduces exactly these
+cycle counts, and an integration test pins the two together.
+
+Functional tests are cycle-based: one vector per tester cycle plus the
+wrapper-programming preamble.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.soc.core import Core
+from repro.soc.tests import TestKind
+from repro.wrapper.balance import design_wrapper
+from repro.wrapper.wir import WIR_BITS
+
+#: Cycles to program one wrapper's WIR (shift opcode + update + select).
+WIR_PROGRAM_CYCLES = WIR_BITS + 2
+
+#: Cycles to reconfigure the chip between sessions (re-program WIRs,
+#: switch TAM muxes, settle clocks).  Modelled, not published.
+SESSION_RECONFIG_CYCLES = 32
+
+#: Preamble cycles before a functional test (wrapper to FUNCTIONAL mode).
+FUNCTIONAL_SETUP_CYCLES = WIR_PROGRAM_CYCLES
+
+
+def scan_test_time(si: int, so: int, patterns: int) -> int:
+    """Cycle count for a scan test through a wrapper (see module doc)."""
+    if patterns <= 0:
+        return 0
+    return (1 + max(si, so)) * patterns + min(si, so)
+
+
+def functional_test_time(patterns: int, setup: int = FUNCTIONAL_SETUP_CYCLES) -> int:
+    """Cycle count for a cycle-based functional test."""
+    if patterns <= 0:
+        return 0
+    return patterns + setup
+
+
+def core_scan_time(core: Core, width: int, patterns: int | None = None) -> int:
+    """Scan test time of ``core`` at TAM width ``width``.
+
+    Uses the balanced wrapper plan for that width; ``patterns`` defaults
+    to the core's total scan pattern count.
+    """
+    if patterns is None:
+        patterns = core.scan_patterns
+    plan = design_wrapper(core, width)
+    return scan_test_time(plan.scan_in_depth, plan.scan_out_depth, patterns)
+
+
+def make_scan_time_fn(core: Core, patterns: int):
+    """A cached ``width -> cycles`` function for a core's scan test."""
+
+    @lru_cache(maxsize=None)
+    def time_fn(width: int) -> int:
+        return core_scan_time(core, width, patterns)
+
+    return time_fn
+
+
+def best_width_time(core: Core, max_width: int, patterns: int | None = None) -> tuple[int, int]:
+    """(width, cycles) minimizing scan time with width <= ``max_width``.
+
+    Scan time is non-increasing in width, so this is simply the time at
+    ``max_width`` — but the function also returns the *smallest* width
+    achieving that time (extra wires that buy nothing are wasted pins).
+    """
+    best_time = core_scan_time(core, max_width, patterns)
+    width = max_width
+    while width > 1 and core_scan_time(core, width - 1, patterns) == best_time:
+        width -= 1
+    return width, best_time

@@ -1,0 +1,35 @@
+"""Bit-level port expansion helpers.
+
+Multi-bit ports are expanded to per-bit signal names (``d[3] d[2] …``,
+MSB first) wherever bit granularity matters: STIL signal lists, wrapper
+boundary-cell assignment, and pattern drive/expect ordering.  Keeping
+the rule here — in one place — is what lets the STIL writer, the wrapper
+generator and the pattern translator agree on bit order.
+"""
+
+from __future__ import annotations
+
+from repro.soc.core import Core
+from repro.soc.ports import Direction, Port, SignalKind
+
+
+def expand_port_bits(port: Port) -> list[str]:
+    """Bit-expanded signal names for a port (MSB first for buses)."""
+    if port.width == 1:
+        return [port.name]
+    return [f"{port.name}[{i}]" for i in range(port.width - 1, -1, -1)]
+
+
+def functional_signal_order(core: Core) -> tuple[list[str], list[str]]:
+    """(pi_order, po_order): bit-expanded functional signal lists for a
+    core, in port-declaration order — the canonical drive/expect order."""
+    pi: list[str] = []
+    po: list[str] = []
+    for port in core.ports:
+        if port.kind is not SignalKind.FUNCTIONAL:
+            continue
+        if port.direction in (Direction.IN, Direction.INOUT):
+            pi.extend(expand_port_bits(port))
+        if port.direction in (Direction.OUT, Direction.INOUT):
+            po.extend(expand_port_bits(port))
+    return pi, po

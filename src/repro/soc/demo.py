@@ -1,0 +1,63 @@
+"""A small scannable demo core with a real gate-level implementation.
+
+Used by the quickstart example and the end-to-end flow tests: it is the
+one core in the repository whose netlist, test patterns and wrapper can
+all be exercised together — ATPG generates its patterns, the STIL writer
+carries them, STEAC wraps it, and the translated program replays against
+the actual gates.
+
+Function: a full adder whose sum and carry land in two scan flops;
+``y``/``cout`` expose the flops, ``so`` shares the carry flop with the
+scan path.
+"""
+
+from __future__ import annotations
+
+from repro.netlist import Module
+from repro.soc.core import Core, CoreType
+from repro.soc.ports import Direction, Port, SignalKind
+from repro.soc.scan import ScanChain
+from repro.soc.tests import scan_test
+
+
+def build_demo_core_module(name: str = "demo") -> Module:
+    """The gate-level implementation (full adder + 2 scan flops)."""
+    m = Module(name)
+    for p in ("clk", "se", "si", "a", "b", "cin"):
+        m.add_input(p)
+    for p in ("so", "y", "cout"):
+        m.add_output(p)
+    m.add_instance("u_x1", "XOR2", A="a", B="b", Y="n_ab")
+    m.add_instance("u_x2", "XOR2", A="n_ab", B="cin", Y="n_sum")
+    m.add_instance("u_a1", "AND2", A="a", B="b", Y="n_g")
+    m.add_instance("u_a2", "AND2", A="n_ab", B="cin", Y="n_p")
+    m.add_instance("u_o1", "OR2", A="n_g", B="n_p", Y="n_carry")
+    m.add_instance("ff0", "SDFF", D="n_sum", SI="si", SE="se", CK="clk", Q="n_q0")
+    m.add_instance("ff1", "SDFF", D="n_carry", SI="n_q0", SE="se", CK="clk", Q="n_q1")
+    m.add_instance("u_y", "BUF", A="n_q0", Y="y")
+    m.add_instance("u_c", "BUF", A="n_q1", Y="cout")
+    m.add_instance("u_so", "BUF", A="n_q1", Y="so")
+    return m
+
+
+def build_demo_core(name: str = "demo", patterns: int = 0) -> Core:
+    """The test-information model of the demo core."""
+    ports = [
+        Port("clk", Direction.IN, SignalKind.CLOCK, clock_domain=f"{name}_clk"),
+        Port("se", Direction.IN, SignalKind.SCAN_ENABLE),
+        Port("si", Direction.IN, SignalKind.SCAN_IN),
+        Port("so", Direction.OUT, SignalKind.SCAN_OUT),
+        Port("a", Direction.IN),
+        Port("b", Direction.IN),
+        Port("cin", Direction.IN),
+        Port("y", Direction.OUT),
+        Port("cout", Direction.OUT),
+    ]
+    return Core(
+        name,
+        core_type=CoreType.HARD,
+        ports=ports,
+        scan_chains=[ScanChain("c0", 2, "si", "so")],
+        tests=[scan_test(patterns, name=f"{name}_scan", power=1.0)],
+        gate_count=15,
+    )

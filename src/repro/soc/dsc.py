@@ -1,0 +1,277 @@
+"""Model of the paper's DSC (digital still camera) controller test chip.
+
+Built from the published data (Fig. 3, Table 1 and Section 3 prose):
+
+* **USB** core — 4 clock domains, 3 resets, 1 scan enable, 6 dedicated test
+  signals; 4 scan chains (1629, 78, 293, 45) each with dedicated scan IO;
+  716 scan patterns.  TI=18, TO=4, PI=221, PO=104.
+* **TV encoder** — 1 clock, 1 reset, 1 SE, 1 TE; 2 scan chains (577, 576),
+  one sharing its output with a functional pin; 229 scan patterns plus
+  202,673 functional patterns.  TI=6, TO=1, PI=25, PO=40.
+* **JPEG** codec — legacy core, no scan, one clock domain, 235,696
+  functional patterns.  TI=1, TO=0, PI=165, PO=104.
+* A processor, external-memory interface and glue logic (unwrapped).
+* "Tens of" single-port and two-port synchronous SRAMs of assorted sizes —
+  modelled as 22 instances (frame buffers, JPEG/line buffers, caches,
+  FIFOs) tested via BRAINS-generated BIST.
+
+Quantities the paper does not publish (functional bus composition, memory
+geometries, pin budget, power weights) are chosen to be representative of
+a 0.25 µm DSC controller and are flagged as such; every published number
+is reproduced exactly and checked by ``tests/test_soc_dsc.py`` and
+``benchmarks/bench_table1.py``.
+"""
+
+from __future__ import annotations
+
+from repro.soc.clocks import ClockDomain
+from repro.soc.core import Core, CoreType
+from repro.soc.memory import MemorySpec, MemoryType
+from repro.soc.ports import Direction, Port, SignalKind
+from repro.soc.scan import ScanChain
+from repro.soc.soc import Soc
+from repro.soc.tests import functional_test, scan_test
+
+#: Default tester pin budget for the DSC experiments.  The chip has many
+#: more pads, but the number of tester channels available for test (after
+#: power/ground and analog pads) is limited; 28 reproduces the paper's
+#: session-vs-non-session shape (session-based wins under the IO limit).
+DSC_TEST_PINS = 28
+
+#: Power budget in abstract units (1.0 ~ one small SRAM under BIST).
+DSC_POWER_BUDGET = 8.0
+
+
+def _functional_ports(prefix: str, pi: int, po: int) -> list[Port]:
+    """Generate functional ports totalling exactly ``pi`` input bits and
+    ``po`` output bits, as buses of at most 32 bits."""
+    ports: list[Port] = []
+    for total, direction, tag in ((pi, Direction.IN, "i"), (po, Direction.OUT, "o")):
+        index = 0
+        remaining = total
+        while remaining > 0:
+            width = min(32, remaining)
+            ports.append(
+                Port(
+                    name=f"{prefix}_{tag}{index}",
+                    direction=direction,
+                    kind=SignalKind.FUNCTIONAL,
+                    width=width,
+                )
+            )
+            remaining -= width
+            index += 1
+    return ports
+
+
+def build_usb_core() -> Core:
+    """The USB core, per Table 1 and Section 3 prose."""
+    domains = [ClockDomain(f"usb_clk{i}", freq_mhz=48.0 if i == 0 else 60.0) for i in range(4)]
+    ports: list[Port] = []
+    # 4 clock domains -> 4 test clock pins.
+    for i, domain in enumerate(domains):
+        ports.append(
+            Port(f"usb_clk{i}", Direction.IN, SignalKind.CLOCK, clock_domain=domain.name)
+        )
+    # 3 reset signals.
+    ports.extend(Port(f"usb_rst{i}", Direction.IN, SignalKind.RESET) for i in range(3))
+    # 1 scan enable.
+    ports.append(Port("usb_se", Direction.IN, SignalKind.SCAN_ENABLE))
+    # 6 dedicated test signals.
+    ports.extend(Port(f"usb_test{i}", Direction.IN, SignalKind.TEST) for i in range(6))
+    # 4 scan chains with dedicated scan IO per clock domain.
+    lengths = [1629, 78, 293, 45]
+    chains: list[ScanChain] = []
+    for i, length in enumerate(lengths):
+        si = Port(f"usb_si{i}", Direction.IN, SignalKind.SCAN_IN, clock_domain=domains[i].name)
+        so = Port(f"usb_so{i}", Direction.OUT, SignalKind.SCAN_OUT, clock_domain=domains[i].name)
+        ports.extend([si, so])
+        chains.append(
+            ScanChain(
+                name=f"usb_chain{i}",
+                length=length,
+                scan_in=si.name,
+                scan_out=so.name,
+                clock_domain=domains[i].name,
+            )
+        )
+    ports.extend(_functional_ports("usb", pi=221, po=104))
+    return Core(
+        name="USB",
+        core_type=CoreType.HARD,
+        ports=ports,
+        scan_chains=chains,
+        tests=[scan_test(716, name="usb_scan", power=4.0)],
+        clock_domains=domains,
+        gate_count=25_000,
+        wrapped=True,
+    )
+
+
+def build_tv_core() -> Core:
+    """The TV encoder: scan + functional tests, one shared scan output."""
+    domain = ClockDomain("tv_clk", freq_mhz=27.0)
+    ports: list[Port] = [
+        Port("tv_clk", Direction.IN, SignalKind.CLOCK, clock_domain=domain.name),
+        Port("tv_rst", Direction.IN, SignalKind.RESET),
+        Port("tv_se", Direction.IN, SignalKind.SCAN_ENABLE),
+        Port("tv_te", Direction.IN, SignalKind.TEST_ENABLE),
+        Port("tv_si0", Direction.IN, SignalKind.SCAN_IN, clock_domain=domain.name),
+        Port("tv_si1", Direction.IN, SignalKind.SCAN_IN, clock_domain=domain.name),
+        Port("tv_so0", Direction.OUT, SignalKind.SCAN_OUT, clock_domain=domain.name),
+    ]
+    ports.extend(_functional_ports("tv", pi=25, po=0))
+    # 40 functional output bits; "tv_vout" is the single-bit video output
+    # that doubles as chain 1's scan-out ("one scan chain shares the
+    # output with a functional output").
+    ports.append(Port("tv_o0", Direction.OUT, SignalKind.FUNCTIONAL, width=32))
+    ports.append(Port("tv_o1", Direction.OUT, SignalKind.FUNCTIONAL, width=7))
+    ports.append(Port("tv_vout", Direction.OUT, SignalKind.FUNCTIONAL, width=1))
+    chains = [
+        ScanChain("tv_chain0", 577, scan_in="tv_si0", scan_out="tv_so0", clock_domain=domain.name),
+        ScanChain(
+            "tv_chain1",
+            576,
+            scan_in="tv_si1",
+            scan_out="tv_vout",
+            clock_domain=domain.name,
+            shares_functional_output=True,
+        ),
+    ]
+    return Core(
+        name="TV",
+        core_type=CoreType.HARD,
+        ports=ports,
+        scan_chains=chains,
+        tests=[
+            scan_test(229, name="tv_scan", power=3.0),
+            functional_test(202_673, name="tv_func", power=3.0),
+        ],
+        clock_domains=[domain],
+        gate_count=25_000,
+        wrapped=True,
+    )
+
+
+def build_jpeg_core() -> Core:
+    """The legacy JPEG codec: functional patterns only, one clock domain."""
+    domain = ClockDomain("jpeg_clk", freq_mhz=54.0)
+    ports: list[Port] = [
+        Port("jpeg_clk", Direction.IN, SignalKind.CLOCK, clock_domain=domain.name),
+    ]
+    ports.extend(_functional_ports("jpeg", pi=165, po=104))
+    return Core(
+        name="JPEG",
+        core_type=CoreType.LEGACY,
+        ports=ports,
+        scan_chains=[],
+        tests=[functional_test(235_696, name="jpeg_func", power=3.0)],
+        clock_domains=[domain],
+        gate_count=60_000,
+        wrapped=True,
+    )
+
+
+def build_processor_core() -> Core:
+    """The micro-processor: tested via its own legacy flow, not wrapped."""
+    domain = ClockDomain("cpu_clk", freq_mhz=100.0)
+    ports = [Port("cpu_clk", Direction.IN, SignalKind.CLOCK, clock_domain=domain.name)]
+    ports.extend(_functional_ports("cpu", pi=64, po=64))
+    return Core(
+        name="CPU",
+        core_type=CoreType.HARD,
+        ports=ports,
+        tests=[],
+        clock_domains=[domain],
+        gate_count=45_000,
+        wrapped=False,
+    )
+
+
+def build_extmem_core() -> Core:
+    """External memory interface: unwrapped glue-class logic."""
+    domain = ClockDomain("emi_clk", freq_mhz=100.0)
+    ports = [Port("emi_clk", Direction.IN, SignalKind.CLOCK, clock_domain=domain.name)]
+    ports.extend(_functional_ports("emi", pi=48, po=48))
+    return Core(
+        name="EMI",
+        core_type=CoreType.HARD,
+        ports=ports,
+        tests=[],
+        clock_domains=[domain],
+        gate_count=5_000,
+        wrapped=False,
+    )
+
+
+#: (name, words, bits, type, count) — 22 embedded synchronous SRAMs,
+#: representative of a DSC controller (frame buffers dominate capacity).
+_DSC_MEMORIES: list[tuple[str, int, int, MemoryType, int]] = [
+    ("fb", 65_536, 16, MemoryType.SINGLE_PORT, 2),       # frame buffers
+    ("jpgbuf", 8_192, 32, MemoryType.TWO_PORT, 4),       # JPEG working buffers
+    ("linebuf", 4_096, 16, MemoryType.TWO_PORT, 4),      # CCD line buffers
+    ("cpu_i", 16_384, 32, MemoryType.SINGLE_PORT, 2),    # instruction RAM
+    ("cpu_d", 8_192, 32, MemoryType.SINGLE_PORT, 2),     # data RAM
+    ("usb_fifo", 1_024, 8, MemoryType.TWO_PORT, 2),      # USB endpoint FIFOs
+    ("tv_lb", 2_048, 16, MemoryType.TWO_PORT, 2),        # TV line buffers
+    ("dma", 512, 32, MemoryType.SINGLE_PORT, 2),         # DMA descriptor RAM
+    ("osd", 4_096, 8, MemoryType.SINGLE_PORT, 1),        # on-screen display
+    ("audio", 2_048, 16, MemoryType.SINGLE_PORT, 1),     # audio buffer
+]
+
+
+def build_dsc_memories() -> list[MemorySpec]:
+    """Instantiate the 22 embedded SRAMs."""
+    memories: list[MemorySpec] = []
+    for base, words, bits, mem_type, count in _DSC_MEMORIES:
+        for i in range(count):
+            memories.append(
+                MemorySpec(
+                    name=f"{base}{i}",
+                    words=words,
+                    bits=bits,
+                    mem_type=mem_type,
+                    freq_mhz=100.0,
+                    power=1.0 + words / 65_536.0,  # bigger arrays draw more
+                )
+            )
+    return memories
+
+
+def build_dsc_chip(test_pins: int = DSC_TEST_PINS, power_budget: float = DSC_POWER_BUDGET) -> Soc:
+    """Build the full DSC controller SOC model (Fig. 3).
+
+    Args:
+        test_pins: tester channel budget (control + TAM data pins).
+        power_budget: maximum concurrent test power (abstract units).
+
+    Returns:
+        A populated :class:`repro.soc.Soc`.
+    """
+    soc = Soc(
+        name="dsc_controller",
+        test_pins=test_pins,
+        gate_count=8_000,  # glue logic
+        power_budget=power_budget,
+    )
+    soc.add_core(build_usb_core())
+    soc.add_core(build_tv_core())
+    soc.add_core(build_jpeg_core())
+    soc.add_core(build_processor_core())
+    soc.add_core(build_extmem_core())
+    for memory in build_dsc_memories():
+        soc.add_memory(memory)
+    return soc
+
+
+def table1(soc: Soc) -> "Table":
+    """Regenerate the paper's Table 1 from the model."""
+    from repro.util import Table
+
+    table = Table(
+        ["Core", "TI", "TO", "PI", "PO", "Scan chains (Lengths)", "Patterns (Type)"],
+        title="Table 1: Test information of the cores",
+    )
+    for name in ("USB", "TV", "JPEG"):
+        table.add_row(soc.core(name).summary_row())
+    return table

@@ -1,0 +1,69 @@
+"""Scan-chain description for cores under test.
+
+A scan chain is characterized by its flip-flop count (*length*), the core
+ports it loads/unloads through, and the clock domain its flops belong to.
+The DSC chip's USB core, for instance, has four chains of lengths 1629, 78,
+293 and 45, one per clock domain (paper, Table 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util import check_name, check_positive
+
+
+@dataclass(frozen=True)
+class ScanChain:
+    """One internal scan chain of a core.
+
+    Attributes:
+        name: chain identifier, unique within the core.
+        length: number of scan flip-flops on the chain.
+        scan_in: name of the core port the chain shifts in from.
+        scan_out: name of the core port the chain shifts out to.
+        clock_domain: clock-domain name the chain's flops belong to.
+        shares_functional_output: True when the scan-out rides on a
+            functional output pin instead of a dedicated one (the TV
+            encoder does this — "one scan chain shares the output with a
+            functional output").
+    """
+
+    name: str
+    length: int
+    scan_in: str
+    scan_out: str
+    clock_domain: str | None = None
+    shares_functional_output: bool = False
+
+    def __post_init__(self) -> None:
+        check_name(self.name, "scan chain name")
+        check_positive(self.length, "scan chain length")
+        check_name(self.scan_in, "scan_in port")
+        check_name(self.scan_out, "scan_out port")
+
+
+def total_flops(chains: list[ScanChain]) -> int:
+    """Total scan flip-flops across ``chains``."""
+    return sum(chain.length for chain in chains)
+
+
+def rebalance_lengths(total: int, width: int) -> list[int]:
+    """Split ``total`` flops into ``width`` balanced chain lengths.
+
+    Used for *soft* cores whose stitching can be redone for an assigned TAM
+    width: the scheduler "will then rebalance scan chains for each assigned
+    TAM width" (paper, Section 2).  Lengths differ by at most one and drop
+    empty chains when ``width > total``.
+
+    >>> rebalance_lengths(10, 4)
+    [3, 3, 2, 2]
+    """
+    check_positive(width, "rebalanced chain count")
+    if total < 0:
+        raise ValueError(f"total flop count must be >= 0, got {total}")
+    if total == 0:
+        return []
+    width = min(width, total)
+    base, extra = divmod(total, width)
+    return [base + 1] * extra + [base] * (width - extra)

@@ -1,0 +1,97 @@
+"""Synthetic SOC generation for scheduler stress and scale studies.
+
+The paper's platform was exercised on one proprietary chip; d695 adds a
+public instance.  This module generates parameterized random-but-
+plausible SOCs (seeded, reproducible) so the schedulers can be tested
+at arbitrary scale and the property suites can explore the constraint
+space: chains follow a log-normal-ish spread, pattern counts correlate
+with flop counts, and a configurable fraction of cores is soft or
+functional-only.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.soc.core import Core, CoreType
+from repro.soc.memory import MemorySpec, MemoryType
+from repro.soc.ports import Direction, Port, SignalKind
+from repro.soc.scan import ScanChain
+from repro.soc.soc import Soc
+from repro.soc.tests import functional_test, scan_test
+
+
+def synth_core(name: str, rng: random.Random, soft_fraction: float = 0.3) -> Core:
+    """One plausible random core."""
+    n_chains = rng.choice([0, 1, 2, 4, 8])
+    ports: list[Port] = [
+        Port(f"{name}_clk", Direction.IN, SignalKind.CLOCK, clock_domain=f"{name}_clk"),
+        Port(f"{name}_rst", Direction.IN, SignalKind.RESET),
+    ]
+    chains: list[ScanChain] = []
+    tests = []
+    if n_chains:
+        ports.append(Port(f"{name}_se", Direction.IN, SignalKind.SCAN_ENABLE))
+        flops = rng.randint(50, 3000)
+        base, extra = divmod(flops, n_chains)
+        for i in range(n_chains):
+            si = Port(f"{name}_si{i}", Direction.IN, SignalKind.SCAN_IN)
+            so = Port(f"{name}_so{i}", Direction.OUT, SignalKind.SCAN_OUT)
+            ports.extend([si, so])
+            length = base + (1 if i < extra else 0)
+            # skew some chains to make balancing non-trivial
+            if i == 0 and n_chains > 1 and rng.random() < 0.5:
+                length = int(length * rng.uniform(1.5, 3.0))
+            chains.append(ScanChain(f"{name}_c{i}", max(1, length), si.name, so.name))
+        patterns = max(10, int(flops * rng.uniform(0.05, 0.4)))
+        tests.append(scan_test(patterns, name=f"{name}_scan", power=rng.uniform(1.0, 4.0)))
+    else:
+        patterns = rng.randint(500, 50_000)
+        tests.append(
+            functional_test(patterns, name=f"{name}_func", power=rng.uniform(1.0, 3.0))
+        )
+    pi = rng.randint(8, 128)
+    po = rng.randint(8, 128)
+    ports.append(Port(f"{name}_d", Direction.IN, width=pi))
+    ports.append(Port(f"{name}_q", Direction.OUT, width=po))
+    core_type = CoreType.SOFT if (chains and rng.random() < soft_fraction) else CoreType.HARD
+    return Core(
+        name,
+        core_type=core_type,
+        ports=ports,
+        scan_chains=chains,
+        tests=tests,
+        gate_count=rng.randint(5_000, 80_000),
+        wrapped=True,
+    )
+
+
+def synth_soc(
+    n_cores: int = 8,
+    n_memories: int = 6,
+    test_pins: int = 48,
+    power_budget: float = 10.0,
+    seed: int = 1,
+) -> Soc:
+    """A seeded random SOC with ``n_cores`` cores and ``n_memories``
+    SRAMs; always schedulable at the default budgets."""
+    rng = random.Random(seed)
+    soc = Soc(
+        f"synth{seed}",
+        test_pins=test_pins,
+        gate_count=rng.randint(20_000, 60_000),
+        power_budget=power_budget,
+    )
+    for i in range(n_cores):
+        soc.add_core(synth_core(f"core{i}", rng))
+    for i in range(n_memories):
+        words = rng.choice([256, 1024, 4096, 16_384, 65_536])
+        bits = rng.choice([8, 16, 32])
+        mem_type = MemoryType.TWO_PORT if rng.random() < 0.3 else MemoryType.SINGLE_PORT
+        soc.add_memory(
+            MemorySpec(
+                f"mem{i}", words, bits, mem_type,
+                power=0.5 + words / 65_536.0,
+            )
+        )
+    return soc

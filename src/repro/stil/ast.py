@@ -1,0 +1,81 @@
+"""Generic statement-tree AST for STIL.
+
+STIL is a keyword-block language; rather than hard-coding one grammar per
+block we parse everything into a uniform :class:`Statement` tree and let
+:mod:`repro.stil.semantics` interpret the keywords it knows.  This keeps
+the parser robust to constructs we don't model (Timing details, UserKeywords,
+vendor blocks), which simply survive as generic subtrees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+
+@dataclass
+class Statement:
+    """One STIL statement.
+
+    Three shapes share this node type:
+
+    * **keyword statement**: ``ScanLength 1629;`` → ``keyword="ScanLength",
+      args=["1629"]``, no children;
+    * **block statement**: ``Signals { ... }`` → children hold the body;
+    * **assignment**: ``"si0" = 0101;`` → ``keyword`` is the LHS name,
+      ``is_assign=True`` and ``args`` holds the RHS tokens.
+
+    ``args`` keeps raw token values in order (strings unquoted, ticked
+    expressions unquoted).
+    """
+
+    keyword: str
+    args: list[str] = field(default_factory=list)
+    children: Optional[list["Statement"]] = None
+    is_assign: bool = False
+    line: int = 0
+
+    @property
+    def arg(self) -> str:
+        """First argument (e.g. a block's name), or ``""``."""
+        return self.args[0] if self.args else ""
+
+    @property
+    def rhs(self) -> str:
+        """Assignment right-hand side joined to a single string."""
+        return "".join(self.args)
+
+    def find_all(self, keyword: str) -> Iterator["Statement"]:
+        """Yield direct children with the given keyword."""
+        for child in self.children or []:
+            if child.keyword == keyword:
+                yield child
+
+    def find(self, keyword: str) -> Optional["Statement"]:
+        """First direct child with the given keyword, or None."""
+        return next(self.find_all(keyword), None)
+
+    def assignments(self) -> dict[str, str]:
+        """All direct assignment children as a name → value dict."""
+        return {c.keyword: c.rhs for c in self.children or [] if c.is_assign}
+
+
+@dataclass
+class StilFile:
+    """A parsed STIL file: the version and the top-level statements."""
+
+    version: str
+    statements: list[Statement] = field(default_factory=list)
+
+    def find_all(self, keyword: str) -> Iterator[Statement]:
+        """Yield top-level statements with the given keyword."""
+        for stmt in self.statements:
+            if stmt.keyword == keyword:
+                yield stmt
+
+    def find(self, keyword: str, name: str | None = None) -> Optional[Statement]:
+        """First top-level statement with keyword (and block name)."""
+        for stmt in self.find_all(keyword):
+            if name is None or stmt.arg == name:
+                return stmt
+        return None

@@ -1,0 +1,16 @@
+"""STIL parsing errors."""
+
+from __future__ import annotations
+
+
+class StilError(ValueError):
+    """Raised on malformed STIL input.
+
+    Carries the 1-based source line where the problem was detected.
+    """
+
+    def __init__(self, message: str, line: int | None = None):
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)

@@ -1,0 +1,113 @@
+"""Recursive-descent parser for the STIL subset.
+
+Grammar (uniform; see :mod:`repro.stil.ast`)::
+
+    file      := "STIL" WORD ";" statement*
+    statement := label? head body
+    label     := (STRING | WORD) ":"
+    head      := (WORD | STRING | ANN) arg*
+    arg       := WORD | STRING | TICKED | "=" | "+"
+    body      := ";" | "{" statement* "}"
+
+Assignments are recognized when a ``=`` token appears among the args:
+``"si0" = 0101 ;`` parses to an assignment statement.
+"""
+
+from __future__ import annotations
+
+from repro.stil.ast import Statement, StilFile
+from repro.stil.errors import StilError
+from repro.stil.tokens import Token, tokenize
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def next(self) -> Token:
+        token = self.tokens[self.pos]
+        self.pos += 1
+        return token
+
+    def expect_punct(self, value: str) -> Token:
+        token = self.next()
+        if token.kind != "PUNCT" or token.value != value:
+            raise StilError(f"expected {value!r}, got {token.value!r}", token.line)
+        return token
+
+    def parse_file(self) -> StilFile:
+        head = self.next()
+        if head.kind != "WORD" or head.value != "STIL":
+            raise StilError("file must start with 'STIL <version>;'", head.line)
+        version = self.next()
+        if version.kind != "WORD":
+            raise StilError("missing STIL version", version.line)
+        self.expect_punct(";")
+        statements = []
+        while self.peek().kind != "EOF":
+            statements.append(self.parse_statement())
+        return StilFile(version=version.value, statements=statements)
+
+    def parse_statement(self) -> Statement:
+        token = self.next()
+        if token.kind == "PUNCT":
+            raise StilError(f"unexpected {token.value!r}", token.line)
+        if token.kind == "ANN":
+            return Statement(keyword="Ann", args=[token.value], line=token.line)
+        keyword = token.value
+        line = token.line
+        args: list[str] = []
+        is_assign = False
+        while True:
+            nxt = self.peek()
+            if nxt.kind == "EOF":
+                raise StilError("unexpected end of file in statement", nxt.line)
+            if nxt.kind == "PUNCT":
+                if nxt.value == ";":
+                    self.next()
+                    return Statement(keyword, args, None, is_assign, line)
+                if nxt.value == "{":
+                    self.next()
+                    children = []
+                    while not (self.peek().kind == "PUNCT" and self.peek().value == "}"):
+                        if self.peek().kind == "EOF":
+                            raise StilError("unclosed block", line)
+                        children.append(self.parse_statement())
+                    self.next()  # consume }
+                    # optional trailing semicolon after a block
+                    if self.peek().kind == "PUNCT" and self.peek().value == ";":
+                        self.next()
+                    return Statement(keyword, args, children, is_assign, line)
+                if nxt.value == "=":
+                    self.next()
+                    is_assign = True
+                    continue
+                if nxt.value in "+:()":
+                    self.next()
+                    if nxt.value == ":":
+                        # label: re-parse the real statement, remember label
+                        inner = self.parse_statement()
+                        inner.args = inner.args
+                        return Statement(
+                            keyword=inner.keyword,
+                            args=inner.args,
+                            children=inner.children,
+                            is_assign=inner.is_assign,
+                            line=line,
+                        )
+                    continue  # '+' in group expressions, parens ignored
+                raise StilError(f"unexpected {nxt.value!r}", nxt.line)
+            self.next()
+            args.append(nxt.value)
+            if nxt.kind == "ANN":
+                # {* ... *} annotations are self-terminating
+                return Statement(keyword, args, None, is_assign, line)
+
+
+def parse(text: str) -> StilFile:
+    """Parse STIL source text into a :class:`StilFile`."""
+    return _Parser(tokenize(text)).parse_file()

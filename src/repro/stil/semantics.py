@@ -1,0 +1,252 @@
+"""Semantic extraction: STIL AST → :class:`repro.soc.Core` + patterns.
+
+This is the "STIL Parser" module of STEAC (paper Fig. 1): it digests each
+IP's test information — "the IO ports, scan structure (number of scan
+chains, length of each scan chain, etc.), and test vectors" — into the
+platform's core model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.patterns.core_patterns import CorePatternSet, FunctionalVector, ScanVector
+from repro.soc.core import Core, CoreType
+from repro.soc.ports import Direction, Port, SignalKind
+from repro.soc.scan import ScanChain
+from repro.soc.tests import CoreTest, TestKind
+from repro.stil.ast import Statement, StilFile
+from repro.stil.errors import StilError
+from repro.stil.parser import parse
+
+_TAG_KINDS = {
+    "clock": SignalKind.CLOCK,
+    "reset": SignalKind.RESET,
+    "test_enable": SignalKind.TEST_ENABLE,
+    "scan_enable": SignalKind.SCAN_ENABLE,
+    "test": SignalKind.TEST,
+}
+
+_DIRECTIONS = {"In": Direction.IN, "Out": Direction.OUT, "InOut": Direction.INOUT}
+
+
+def parse_ann(payload: str) -> dict[str, str]:
+    """Parse a ``key=value key=value`` annotation payload."""
+    result: dict[str, str] = {}
+    for token in payload.split():
+        if "=" in token:
+            key, _, value = token.partition("=")
+            result[key] = value
+    return result
+
+
+@dataclass
+class ExtractedCore:
+    """Result of :func:`core_from_stil`: the core model plus any concrete
+    pattern payloads the file carried."""
+
+    core: Core
+    patterns: CorePatternSet
+    signal_groups: dict[str, list[str]] = field(default_factory=dict)
+
+
+def _extract_signals(stil: StilFile) -> list[Port]:
+    block = stil.find("Signals")
+    if block is None:
+        raise StilError("STIL file has no Signals block")
+    ports: list[Port] = []
+    for stmt in block.children or []:
+        if stmt.keyword == "Ann":
+            continue
+        direction = _DIRECTIONS.get(stmt.arg)
+        if direction is None:
+            raise StilError(f"signal {stmt.keyword!r} has bad direction {stmt.arg!r}", stmt.line)
+        kind = SignalKind.FUNCTIONAL
+        domain = None
+        for child in stmt.children or []:
+            if child.keyword == "ScanIn":
+                kind = SignalKind.SCAN_IN
+            elif child.keyword == "ScanOut":
+                kind = SignalKind.SCAN_OUT
+            elif child.keyword == "Ann":
+                tags = parse_ann(child.arg)
+                if "kind" in tags:
+                    mapped = _TAG_KINDS.get(tags["kind"])
+                    if mapped is None:
+                        raise StilError(f"unknown signal kind {tags['kind']!r}", child.line)
+                    kind = mapped
+                domain = tags.get("domain", domain)
+        ports.append(Port(name=stmt.keyword, direction=direction, kind=kind, clock_domain=domain))
+    return ports
+
+
+def _extract_groups(stil: StilFile) -> dict[str, list[str]]:
+    groups: dict[str, list[str]] = {}
+    block = stil.find("SignalGroups")
+    for stmt in (block.children or []) if block else []:
+        if not stmt.is_assign:
+            continue
+        names = [part.strip().strip('"') for part in stmt.rhs.split("+")]
+        groups[stmt.keyword] = [n for n in names if n]
+    return groups
+
+
+def _extract_chains(stil: StilFile) -> list[ScanChain]:
+    chains: list[ScanChain] = []
+    block = stil.find("ScanStructures")
+    for stmt in (block.children or []) if block else []:
+        if stmt.keyword != "ScanChain":
+            continue
+        length_stmt = stmt.find("ScanLength")
+        si_stmt = stmt.find("ScanIn")
+        so_stmt = stmt.find("ScanOut")
+        if length_stmt is None or si_stmt is None or so_stmt is None:
+            raise StilError(f"scan chain {stmt.arg!r} is missing fields", stmt.line)
+        domain = None
+        ann = stmt.find("Ann")
+        if ann is not None:
+            domain = parse_ann(ann.arg).get("domain")
+        chains.append(
+            ScanChain(
+                name=stmt.arg,
+                length=int(length_stmt.arg),
+                scan_in=si_stmt.arg,
+                scan_out=so_stmt.arg,
+                clock_domain=domain,
+            )
+        )
+    return chains
+
+
+def _pattern_order(stil: StilFile) -> list[str]:
+    """Pattern names in execution order (PatternExec → burst → PatList),
+    falling back to declaration order."""
+    exec_block = stil.find("PatternExec")
+    if exec_block is not None:
+        burst_ref = exec_block.find("PatternBurst")
+        if burst_ref is not None:
+            burst = stil.find("PatternBurst", burst_ref.arg)
+            if burst is not None:
+                patlist = burst.find("PatList")
+                if patlist is not None:
+                    return [c.keyword for c in patlist.children or []]
+    return [p.arg for p in stil.find_all("Pattern")]
+
+
+def _extract_pattern_block(
+    block: Statement,
+    chains: list[ScanChain],
+    patterns: CorePatternSet,
+) -> tuple[TestKind, float, int]:
+    """Walk one Pattern block; append vectors to ``patterns``.
+
+    Returns (test kind, power, declared pattern count).
+    """
+    kind = TestKind.FUNCTIONAL
+    power = 0.0
+    declared = 0
+    chain_by_si = {c.scan_in: c for c in chains}
+    chain_by_so = {c.scan_out: c for c in chains}
+    pending_call: dict[str, str] | None = None
+    extracted = 0
+
+    def finish_scan_vector(v_stmt: Statement | None) -> None:
+        nonlocal pending_call, extracted
+        if pending_call is None:
+            return
+        loads: dict[str, str] = {}
+        unloads: dict[str, str] = {}
+        for sig, data in pending_call.items():
+            if sig in chain_by_si:
+                loads[chain_by_si[sig].name] = data
+            elif sig in chain_by_so:
+                unloads[chain_by_so[sig].name] = data.upper()
+        assigns = v_stmt.assignments() if v_stmt is not None else {}
+        patterns.scan_vectors.append(
+            ScanVector(
+                loads=loads,
+                pi=assigns.get("_pi", ""),
+                expected_po=assigns.get("_po", "").upper(),
+                unloads=unloads,
+            )
+        )
+        pending_call = None
+        extracted += 1
+
+    for stmt in block.children or []:
+        if stmt.keyword == "Ann":
+            tags = parse_ann(stmt.arg)
+            if tags.get("test") == "scan":
+                kind = TestKind.SCAN
+            power = float(tags.get("power", power))
+            declared = int(tags.get("patterns", declared))
+        elif stmt.keyword == "Call":
+            finish_scan_vector(None)  # Call without a V closes the previous
+            pending_call = stmt.assignments()
+            kind = TestKind.SCAN
+        elif stmt.keyword == "V":
+            if pending_call is not None:
+                finish_scan_vector(stmt)
+            else:
+                assigns = stmt.assignments()
+                patterns.functional_vectors.append(
+                    FunctionalVector(
+                        pi=assigns.get("_pi", ""),
+                        expected_po=assigns.get("_po", "").upper(),
+                    )
+                )
+                extracted += 1
+    finish_scan_vector(None)
+    return kind, power, declared if declared else extracted
+
+
+def core_from_stil(text_or_ast: str | StilFile) -> ExtractedCore:
+    """Extract the core test information from a STIL file.
+
+    Accepts raw text or a pre-parsed :class:`StilFile`.  Returns the core
+    (ports, chains, tests with counts) and whatever concrete vectors the
+    file carried.
+    """
+    stil = parse(text_or_ast) if isinstance(text_or_ast, str) else text_or_ast
+    ports = _extract_signals(stil)
+    groups = _extract_groups(stil)
+    chains = _extract_chains(stil)
+
+    name = "core"
+    core_type = CoreType.HARD
+    gates = 0
+    header = stil.find("Header")
+    if header is not None:
+        for ann in header.find_all("Ann"):
+            tags = parse_ann(ann.arg)
+            name = tags.get("core", name)
+            gates = int(tags.get("gates", gates))
+            if "type" in tags:
+                core_type = CoreType(tags["type"])
+
+    patterns = CorePatternSet(
+        core_name=name,
+        pi_order=groups.get("_pi", []),
+        po_order=groups.get("_po", []),
+        chain_order=[c.name for c in chains],
+    )
+
+    tests: list[CoreTest] = []
+    pattern_blocks = {p.arg: p for p in stil.find_all("Pattern")}
+    for pat_name in _pattern_order(stil):
+        block = pattern_blocks.get(pat_name)
+        if block is None:
+            continue
+        kind, power, count = _extract_pattern_block(block, chains, patterns)
+        tests.append(CoreTest(name=pat_name, kind=kind, patterns=count, power=power))
+
+    core = Core(
+        name=name,
+        core_type=core_type,
+        ports=ports,
+        scan_chains=chains,
+        tests=tests,
+        gate_count=gates,
+        wrapped=True,
+    )
+    return ExtractedCore(core=core, patterns=patterns, signal_groups=groups)

@@ -1,0 +1,99 @@
+"""Tokenizer for the STIL (IEEE 1450) subset.
+
+Produces a flat token stream; the parser builds the statement tree.
+Token kinds:
+
+* ``WORD`` — bare identifiers, numbers, and vector data (``Signals``,
+  ``1.0``, ``0101XH``, ``#``);
+* ``STRING`` — double-quoted signal/block names (quotes stripped);
+* ``TICKED`` — single-quoted timing/group expressions (quotes stripped);
+* ``ANN`` — ``{* ... *}`` annotation payloads (delimiters stripped);
+* ``PUNCT`` — one of ``{ } ; : = + ( )``.
+
+Comments (``//`` and ``/* */``) are skipped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.stil.errors import StilError
+
+_PUNCT = set("{};:=+()")
+_WORD_CHARS = set("ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789_.[]\\#%!$-/")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its 1-based source line."""
+
+    kind: str
+    value: str
+    line: int
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize STIL source text (raises :class:`StilError` on garbage)."""
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        if text.startswith("//", i):
+            end = text.find("\n", i)
+            i = n if end == -1 else end
+            continue
+        if text.startswith("/*", i):
+            end = text.find("*/", i + 2)
+            if end == -1:
+                raise StilError("unterminated block comment", line)
+            line += text.count("\n", i, end)
+            i = end + 2
+            continue
+        if text.startswith("{*", i):
+            end = text.find("*}", i + 2)
+            if end == -1:
+                raise StilError("unterminated annotation", line)
+            payload = text[i + 2 : end].strip()
+            tokens.append(Token("ANN", payload, line))
+            line += text.count("\n", i, end)
+            i = end + 2
+            continue
+        if ch == '"':
+            end = text.find('"', i + 1)
+            if end == -1:
+                raise StilError("unterminated string", line)
+            tokens.append(Token("STRING", text[i + 1 : end], line))
+            line += text.count("\n", i, end)
+            i = end + 1
+            continue
+        if ch == "'":
+            end = text.find("'", i + 1)
+            if end == -1:
+                raise StilError("unterminated quoted expression", line)
+            tokens.append(Token("TICKED", text[i + 1 : end], line))
+            line += text.count("\n", i, end)
+            i = end + 1
+            continue
+        if ch in _PUNCT:
+            tokens.append(Token("PUNCT", ch, line))
+            i += 1
+            continue
+        if ch in _WORD_CHARS:
+            j = i
+            while j < n and text[j] in _WORD_CHARS:
+                j += 1
+            tokens.append(Token("WORD", text[i:j], line))
+            i = j
+            continue
+        raise StilError(f"unexpected character {ch!r}", line)
+    tokens.append(Token("EOF", "", line))
+    return tokens

@@ -1,0 +1,6 @@
+"""TAM (test access mechanism) bus: wire assignment and mux generation."""
+
+from repro.tam.bus import TamBus, TamSlot, build_tam
+from repro.tam.mux import make_tam_mux
+
+__all__ = ["TamBus", "TamSlot", "build_tam", "make_tam_mux"]

@@ -1,0 +1,100 @@
+"""TAM multiplexer generation.
+
+Steers the chip's TAM-out pins among the wrappers' parallel outputs
+according to the active session ("the TAM multiplexer requires about 132
+gates" — paper Section 3; ours is measured from the generated netlist in
+experiment E4).
+
+Input side needs no gates: TAM-in pins fan out to all wrappers' ``wpi``
+ports, and inactive wrappers simply ignore them (their WIR holds
+FUNCTIONAL/BYPASS).  Output side: per TAM-out wire, a session-decoded
+one-hot OR-AND network selects the active wrapper's ``wpo``.
+"""
+
+from __future__ import annotations
+
+from repro.netlist import Module
+from repro.tam.bus import TamBus
+
+
+def make_tam_mux(bus: TamBus, name: str = "tam_mux") -> Module:
+    """Generate the TAM output multiplexer for a bus assignment.
+
+    Ports: session-select bits ``sel0..``, one data input per (slot,
+    wire) — named ``{task}_wpo{i}`` with the task name sanitized — and
+    ``tam_out0..`` outputs.
+    """
+    m = Module(name)
+    n_sessions = max(1, bus.sessions)
+    sel_bits = max(1, (n_sessions - 1).bit_length())
+    for b in range(sel_bits):
+        m.add_input(f"sel{b}")
+        m.add_instance(f"u_seli{b}", "INV", A=f"sel{b}", Y=f"n_sel{b}_n")
+    for w in range(bus.width):
+        m.add_output(f"tam_out{w}")
+
+    def minterm(session: int, out: str, tag: str) -> None:
+        literals = [
+            f"sel{b}" if (session >> b) & 1 else f"n_sel{b}_n" for b in range(sel_bits)
+        ]
+        _tree(m, literals, out, "AND", tag)
+
+    session_nets: dict[int, str] = {}
+    for slot in bus.slots:
+        if slot.session not in session_nets:
+            net = m.add_net(f"n_ses{slot.session}")
+            minterm(slot.session, net, f"u_ses{slot.session}")
+            session_nets[slot.session] = net
+
+    sources = bus.wire_sources()
+    for w in range(bus.width):
+        terms = []
+        for slot in sources[w]:
+            local = slot.wires.index(w)
+            pin = _sanitize(f"{slot.task_name}_wpo{local}")
+            if not any(p.name == pin for p in m.ports):
+                m.add_input(pin)
+            net = m.add_net(f"n_w{w}_s{slot.session}")
+            m.add_instance(
+                f"u_g_w{w}_s{slot.session}", "AND2",
+                A=pin, B=session_nets[slot.session], Y=net,
+            )
+            terms.append(net)
+        if terms:
+            _tree(m, terms, f"tam_out{w}", "OR", f"u_or_w{w}")
+        else:
+            m.add_instance(f"u_tie_w{w}", "TIE0", Y=f"tam_out{w}")
+    return m
+
+
+def _sanitize(name: str) -> str:
+    return name.replace(".", "_")
+
+
+def _tree(m: Module, nets: list[str], out: str, kind: str, prefix: str) -> None:
+    cell2, cell3 = (("AND2", "AND3") if kind == "AND" else ("OR2", "OR3"))
+    if len(nets) == 1:
+        m.add_instance(f"{prefix}_buf", "BUF", A=nets[0], Y=out)
+        return
+    current = list(nets)
+    level = 0
+    while len(current) > 1:
+        nxt = []
+        i = 0
+        while i < len(current):
+            group = current[i : i + 3] if len(current) - i == 3 else current[i : i + 2]
+            i += len(group)
+            if len(group) == 1:
+                nxt.append(group[0])
+                continue
+            final = i >= len(current) and not nxt
+            y = out if final else m.add_net(f"{prefix}_t{level}_{len(nxt)}")
+            m.add_instance(
+                f"{prefix}_g{level}_{len(nxt)}",
+                cell3 if len(group) == 3 else cell2,
+                Y=y,
+                **dict(zip("ABC", group)),
+            )
+            nxt.append(y)
+        current = nxt
+        level += 1

@@ -1,0 +1,13 @@
+"""Small shared helpers: ASCII table rendering, validation, formatting."""
+
+from repro.util.tables import Table, format_gates, format_cycles
+from repro.util.validate import check_positive, check_non_negative, check_name
+
+__all__ = [
+    "Table",
+    "format_gates",
+    "format_cycles",
+    "check_positive",
+    "check_non_negative",
+    "check_name",
+]

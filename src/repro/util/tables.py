@@ -1,0 +1,68 @@
+"""ASCII table rendering for reports and benchmark output.
+
+The benchmark harness reproduces the paper's tables as monospace text; this
+module provides the single table formatter used throughout so that every
+report has a consistent look.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+class Table:
+    """A simple left-aligned ASCII table with a header row.
+
+    >>> t = Table(["Core", "Patterns"])
+    >>> t.add_row(["USB", 716])
+    >>> print(t.render())  # doctest: +NORMALIZE_WHITESPACE
+    Core | Patterns
+    -----+---------
+    USB  | 716
+    """
+
+    def __init__(self, headers: Sequence[str], title: str | None = None):
+        self.title = title
+        self.headers = [str(h) for h in headers]
+        self.rows: list[list[str]] = []
+
+    def add_row(self, row: Iterable[object]) -> None:
+        """Append a row; cells are stringified with :func:`str`."""
+        cells = [str(c) for c in row]
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(cells)
+
+    def render(self) -> str:
+        """Render the table to a string (no trailing newline)."""
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        header = " | ".join(h.ljust(w) for h, w in zip(self.headers, widths))
+        lines.append(header.rstrip())
+        lines.append("-+-".join("-" * w for w in widths))
+        for row in self.rows:
+            line = " | ".join(c.ljust(w) for c, w in zip(row, widths))
+            lines.append(line.rstrip())
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def format_gates(gates: float) -> str:
+    """Format a gate count (NAND2 equivalents) for reports."""
+    if gates >= 1000:
+        return f"{gates / 1000.0:.1f}k gates"
+    return f"{gates:.0f} gates"
+
+
+def format_cycles(cycles: int) -> str:
+    """Format a cycle count with thousands separators (paper style)."""
+    return f"{cycles:,}"

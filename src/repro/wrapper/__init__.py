@@ -1,0 +1,48 @@
+"""IEEE-1500-style core test wrappers.
+
+Implements the paper's "Wrapper Generator": wrapper boundary cells (the
+26-gate WBR cell of Section 3), wrapper-chain balancing for an assigned
+TAM width, the WIR instruction set, and full gate-level generation.
+"""
+
+from repro.wrapper.balance import (
+    WrapperChain,
+    WrapperPlan,
+    design_wrapper,
+    partition_greedy,
+    partition_optimal,
+)
+from repro.wrapper.cells import (
+    WBC_AREA,
+    WBC_LIGHT_AREA,
+    WBY_AREA,
+    make_wbc_cell,
+    make_wbc_light_cell,
+    make_wby_cell,
+)
+from repro.wrapper.generator import GeneratedWrapper, generate_wrapper
+from repro.wrapper.wir import WIR_AREA, WIR_BITS, WrapperInstruction, encode, make_wir
+from repro.wrapper.wrapper import CoreWrapper, wir_shift_sequence
+
+__all__ = [
+    "WrapperChain",
+    "WrapperPlan",
+    "design_wrapper",
+    "partition_greedy",
+    "partition_optimal",
+    "WBC_AREA",
+    "WBC_LIGHT_AREA",
+    "WBY_AREA",
+    "make_wbc_cell",
+    "make_wbc_light_cell",
+    "make_wby_cell",
+    "GeneratedWrapper",
+    "generate_wrapper",
+    "WIR_AREA",
+    "WIR_BITS",
+    "WrapperInstruction",
+    "encode",
+    "make_wir",
+    "CoreWrapper",
+    "wir_shift_sequence",
+]

@@ -1,0 +1,199 @@
+"""Wrapper scan-chain balancing.
+
+A wrapped core's test time is governed by its longest wrapper chain, so
+the generator must partition the core's internal scan chains plus its
+boundary cells into ``w`` balanced wrapper chains (the classic
+*Design_wrapper* problem).  The paper's scheduler additionally
+"rebalances scan chains for each assigned TAM width" for soft cores.
+
+Provided algorithms:
+
+* :func:`partition_greedy` — longest-processing-time/best-fit-decreasing
+  heuristic (sort descending, place on least-loaded chain); the standard
+  Design_wrapper heuristic.
+* :func:`partition_optimal` — exact branch-and-bound minimizing the max
+  chain length; exponential, intended for small instances and for
+  validating the heuristic in tests.
+* :func:`design_wrapper` — the full flow: internal chains (re-stitched
+  for soft cores), then wrapper input/output cells distributed to balance
+  scan-in/scan-out lengths separately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.soc.core import Core
+from repro.soc.scan import rebalance_lengths
+from repro.util import check_positive
+
+
+def partition_greedy(lengths: list[int], width: int) -> list[list[int]]:
+    """Partition item indices into ``width`` bins, minimizing max load
+    (LPT/BFD heuristic).  Returns bins of item indices (some may be
+    empty); deterministic for reproducibility."""
+    check_positive(width, "partition width")
+    bins: list[list[int]] = [[] for _ in range(width)]
+    loads = [0] * width
+    for index in sorted(range(len(lengths)), key=lambda i: (-lengths[i], i)):
+        target = min(range(width), key=lambda b: (loads[b], b))
+        bins[target].append(index)
+        loads[target] += lengths[index]
+    return bins
+
+
+def partition_optimal(lengths: list[int], width: int, node_limit: int = 200_000) -> list[list[int]]:
+    """Exact minimum-makespan partition via branch-and-bound.
+
+    Sorted-descending DFS with two prunes: (a) bound the partial makespan
+    by the best complete solution found, (b) skip equal-load bins
+    (symmetry).  Falls back to the greedy answer if ``node_limit`` is
+    exhausted (guards pathological inputs in property tests).
+    """
+    check_positive(width, "partition width")
+    n = len(lengths)
+    if n == 0:
+        return [[] for _ in range(width)]
+    order = sorted(range(n), key=lambda i: (-lengths[i], i))
+    best_bins = partition_greedy(lengths, width)
+    best_makespan = max((sum(lengths[i] for i in b) for b in best_bins), default=0)
+    lower = max(max(lengths, default=0), (sum(lengths) + width - 1) // width)
+    if best_makespan == lower:
+        return best_bins
+    assign = [0] * n
+    loads = [0] * width
+    nodes = 0
+
+    def dfs(pos: int) -> bool:
+        nonlocal best_makespan, nodes
+        if nodes > node_limit:
+            return True  # abort: keep best found so far
+        nodes += 1
+        if pos == n:
+            makespan = max(loads)
+            if makespan < best_makespan:
+                best_makespan = makespan
+                for i in range(n):
+                    best_bins_flat[order[i]] = assign[i]
+            return best_makespan == lower
+        item = lengths[order[pos]]
+        seen_loads: set[int] = set()
+        for b in range(width):
+            if loads[b] in seen_loads:
+                continue  # symmetric bin
+            seen_loads.add(loads[b])
+            if loads[b] + item >= best_makespan:
+                continue
+            loads[b] += item
+            assign[pos] = b
+            if dfs(pos + 1):
+                loads[b] -= item
+                return True
+            loads[b] -= item
+        return False
+
+    best_bins_flat = [0] * n
+    for b, items in enumerate(best_bins):
+        for i in items:
+            best_bins_flat[i] = b
+    dfs(0)
+    result: list[list[int]] = [[] for _ in range(width)]
+    for i, b in enumerate(best_bins_flat):
+        result[b].append(i)
+    return result
+
+
+@dataclass
+class WrapperChain:
+    """One wrapper chain: some internal scan chains plus boundary cells.
+
+    ``in_length`` (scan-in depth) counts input cells + internal flops;
+    ``out_length`` counts internal flops + output cells.
+    """
+
+    internal_chains: list[str] = field(default_factory=list)
+    internal_length: int = 0
+    input_cells: int = 0
+    output_cells: int = 0
+
+    @property
+    def in_length(self) -> int:
+        return self.input_cells + self.internal_length
+
+    @property
+    def out_length(self) -> int:
+        return self.internal_length + self.output_cells
+
+    @property
+    def total_cells(self) -> int:
+        """Flops on this wrapper chain (input cells + internal + output)."""
+        return self.input_cells + self.internal_length + self.output_cells
+
+
+@dataclass
+class WrapperPlan:
+    """A complete wrapper-chain assignment for one core at one TAM width."""
+
+    core_name: str
+    width: int
+    chains: list[WrapperChain]
+    rebalanced: bool = False
+
+    @property
+    def scan_in_depth(self) -> int:
+        """si: the longest wrapper scan-in path."""
+        return max((c.in_length for c in self.chains), default=0)
+
+    @property
+    def scan_out_depth(self) -> int:
+        """so: the longest wrapper scan-out path."""
+        return max((c.out_length for c in self.chains), default=0)
+
+    @property
+    def boundary_cells(self) -> int:
+        """Total wrapper boundary cells in the plan."""
+        return sum(c.input_cells + c.output_cells for c in self.chains)
+
+
+def design_wrapper(core: Core, width: int, exact: bool = False) -> WrapperPlan:
+    """Build a balanced wrapper plan for ``core`` with ``width`` TAM wires.
+
+    Internal scan chains are re-stitched into ``width`` balanced chains
+    for soft cores, or partitioned (greedy or exact) for hard cores.
+    Wrapper input/output cells (one per functional input/output bit) are
+    then distributed to equalize scan-in and scan-out depths.
+    """
+    check_positive(width, "TAM width")
+    counts = core.counts
+    n_in_cells = counts.pi
+    n_out_cells = counts.po
+
+    chains = [WrapperChain() for _ in range(width)]
+    rebalanced = False
+    if core.scan_chains:
+        if core.is_soft:
+            new_lengths = rebalance_lengths(core.scan_flops, width)
+            for i, length in enumerate(new_lengths):
+                chains[i].internal_chains.append(f"{core.name}_rebal{i}")
+                chains[i].internal_length = length
+            rebalanced = True
+        else:
+            lengths = core.chain_lengths
+            partition = (
+                partition_optimal(lengths, width) if exact else partition_greedy(lengths, width)
+            )
+            for b, items in enumerate(partition):
+                for i in items:
+                    chains[b].internal_chains.append(core.scan_chains[i].name)
+                    chains[b].internal_length += lengths[i]
+
+    # distribute boundary cells: input cells balance scan-in depth,
+    # output cells balance scan-out depth (independent greedy passes)
+    for _ in range(n_in_cells):
+        target = min(chains, key=lambda c: c.in_length)
+        target.input_cells += 1
+    for _ in range(n_out_cells):
+        target = min(chains, key=lambda c: c.out_length)
+        target.output_cells += 1
+
+    return WrapperPlan(core_name=core.name, width=width, chains=chains, rebalanced=rebalanced)

@@ -1,0 +1,77 @@
+"""High-level wrapper model: structure summary, area estimate, WIR usage.
+
+This is the scheduler- and report-facing view of a wrapper; the actual
+gates live in :mod:`repro.wrapper.generator`.  The closed-form area model
+here is validated against generated-netlist areas in the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.soc.core import Core
+from repro.wrapper.balance import WrapperPlan, design_wrapper
+from repro.wrapper.cells import WBC_AREA, WBY_AREA
+from repro.wrapper.wir import WIR_AREA, WrapperInstruction, encode
+
+
+def wir_shift_sequence(instruction: WrapperInstruction) -> list[int]:
+    """Bits to shift into WSI to load ``instruction`` (first bit shifted
+    first; the opcode MSB must be shifted first so it lands deepest)."""
+    return list(reversed(encode(instruction)))
+
+
+@dataclass
+class CoreWrapper:
+    """A wrapped core: the balance plan plus derived figures.
+
+    Attributes:
+        core: the wrapped core.
+        plan: wrapper-chain assignment (per TAM width).
+    """
+
+    core: Core
+    plan: WrapperPlan
+
+    @classmethod
+    def design(cls, core: Core, width: int, exact: bool = False) -> "CoreWrapper":
+        """Design a wrapper for ``core`` with ``width`` TAM wires."""
+        return cls(core=core, plan=design_wrapper(core, width, exact=exact))
+
+    @property
+    def boundary_cells(self) -> int:
+        """WBC count = functional input bits + functional output bits."""
+        return self.plan.boundary_cells
+
+    @property
+    def scan_in_depth(self) -> int:
+        return self.plan.scan_in_depth
+
+    @property
+    def scan_out_depth(self) -> int:
+        return self.plan.scan_out_depth
+
+    @property
+    def estimated_area(self) -> float:
+        """Closed-form wrapper area (NAND2 equivalents): WBC cells + WIR +
+        WBY + per-chain access muxes/buffers + mode decode glue."""
+        per_chain_glue = 2.5 + 1.0 + 1.0  # source mux + serial buf + wpo buf
+        glue = 2 * 1.5 + 2 * 2.5 + 0.7 + 3 * 1.5 + 1.0  # ORs, WSO muxes, INV, ANDs, BUF
+        return (
+            self.boundary_cells * WBC_AREA
+            + WIR_AREA
+            + WBY_AREA
+            + self.plan.width * per_chain_glue
+            + glue
+        )
+
+    def summary_row(self) -> list[object]:
+        """Row for wrapper reports: core, width, cells, si/so, area."""
+        return [
+            self.core.name,
+            self.plan.width,
+            self.boundary_cells,
+            self.scan_in_depth,
+            self.scan_out_depth,
+            f"{self.estimated_area:.0f}",
+        ]

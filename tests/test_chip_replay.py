@@ -1,0 +1,93 @@
+"""Chip-level replay: ATPG patterns driven through the *entire* STEAC-
+inserted design — test controller, TAM multiplexer, wrapper and core —
+in the logic simulator.  This exercises every generated structure at
+once: the controller's CONFIG/RUN walk, WIR programming over the chip
+serial chain, session-select steering of the TAM mux, shared SE/reset
+pins, and the parallel TAM data path."""
+
+import pytest
+
+from repro.atpg import generate_scan_patterns
+from repro.core import Steac
+from repro.netlist import LOW, Module, Simulator, flatten
+from repro.patterns import chip_scan_program, replay, translate_core_to_wrapper
+from repro.soc import Soc
+from repro.soc.demo import build_demo_core, build_demo_core_module
+from repro.stil import core_to_stil
+
+
+def integrate_demo_soc(defect: bool = False):
+    """ATPG the demo core, integrate it with STEAC, and build a flat
+    simulator of the test top with all clocks tied to 'ck'."""
+    module = build_demo_core_module()
+    atpg = generate_scan_patterns(module, build_demo_core())
+    core = build_demo_core(patterns=atpg.pattern_count)
+    stil_text = core_to_stil(core, atpg.patterns)
+
+    soc = Soc("chip", test_pins=16)
+    result = Steac().integrate(soc, stil_texts={"demo": stil_text})
+
+    core_impl = build_demo_core_module()
+    if defect:
+        for inst in core_impl.instances:
+            if inst.name == "ff1":
+                inst.conns["D"] = "n_carry_bad"
+        core_impl.add_instance("u_defect", "INV", A="n_carry", Y="n_carry_bad")
+    result.netlist.add(core_impl)  # resolve the core blackbox
+
+    top = result.netlist.top
+    tb = Module("tb")
+    tb.add_input("ck")
+    clock_pins = {p for p in top.input_ports if p == "tck" or p.startswith("tclk_")}
+    for port in top.input_ports:
+        if port not in clock_pins:
+            tb.add_input(port)
+    for port in top.output_ports:
+        tb.add_output(port)
+    conns = {
+        p.name: ("ck" if p.name in clock_pins else p.name) for p in top.ports
+    }
+    tb.add_instance("u_top", top.name, **conns)
+    result.netlist.add(tb)
+    result.netlist.top_name = "tb"
+
+    sim = Simulator(flatten(result.netlist))
+    sim.reset_state(LOW)
+    sim.set_inputs({p: LOW for p in tb.input_ports})
+
+    extracted_core = result.soc.core("demo")
+    plan = result.wrappers["demo"].plan
+    wp = translate_core_to_wrapper(extracted_core, atpg.patterns, plan)
+    slot = result.tam_bus.slot_for_task("demo.demo_scan")
+    program = chip_scan_program(extracted_core, wp, slot)
+    return result, sim, program
+
+
+class TestChipLevelReplay:
+    def test_atpg_program_replays_clean_through_whole_chip(self):
+        result, sim, program = integrate_demo_soc()
+        mismatches = replay(program, sim, "ck")
+        assert mismatches == [], mismatches[:3]
+
+    def test_controller_reports_done_after_session(self):
+        result, sim, program = integrate_demo_soc()
+        replay(program, sim, "ck")
+        sim.evaluate()
+        assert sim.get("tc_done") == 1  # single session completed
+
+    def test_defective_core_caught_through_whole_chip(self):
+        result, sim, program = integrate_demo_soc(defect=True)
+        mismatches = replay(program, sim, "ck")
+        assert mismatches, "chip-level program must catch the injected defect"
+        assert all(m.pin.startswith("tam_out") for m in mismatches)
+
+    def test_program_structure(self):
+        result, sim, program = integrate_demo_soc()
+        labels = [c.label for c in program.cycles]
+        assert labels[0] == "reset"
+        assert "wir-shift" in labels
+        assert "config-done" in labels
+        assert labels[-1] == "session-done"
+        # scan payload rides on TAM pins
+        scan_drives = [c for c in program.cycles if any(p.startswith("tam_in") for p in c.drive)]
+        assert scan_drives

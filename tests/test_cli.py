@@ -1,0 +1,43 @@
+"""Tests for the ``python -m repro`` command shell."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_march_listing(self, capsys):
+        assert main(["march"]) == 0
+        out = capsys.readouterr().out
+        assert "March C-" in out
+        assert "10N" in out
+
+    def test_march_retention(self, capsys):
+        assert main(["march", "--retention"]) == 0
+        assert "+ret" in capsys.readouterr().out
+
+    def test_coverage_table(self, capsys):
+        assert main(["coverage", "--size", "8", "--pairs", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "SAF%" in out
+
+    def test_d695_schedule(self, capsys):
+        assert main(["d695", "--pins", "48"]) == 0
+        out = capsys.readouterr().out
+        assert "total test time" in out
+
+    def test_dsc_report(self, capsys):
+        assert main(["dsc"]) == 0
+        out = capsys.readouterr().out
+        assert "DFT area overhead" in out
+        assert "Scheduling comparison" in out
+
+    def test_dsc_verilog_to_file(self, capsys, tmp_path):
+        target = tmp_path / "dft.v"
+        assert main(["dsc", "--verilog", str(target)]) == 0
+        assert target.exists()
+        assert "endmodule" in target.read_text()
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,192 @@
+"""Tests for the 3-valued logic simulator."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.netlist import HIGH, LOW, X, CombLoopError, Module, Simulator
+
+
+def make_comb() -> Module:
+    # y = (a NAND b) XOR c
+    m = Module("comb")
+    for p in ("a", "b", "c"):
+        m.add_input(p)
+    m.add_output("y")
+    m.add_instance("u0", "NAND2", A="a", B="b", Y="n0")
+    m.add_instance("u1", "XOR2", A="n0", B="c", Y="y")
+    return m
+
+
+class TestCombinational:
+    def test_truth_table(self):
+        sim = Simulator(make_comb())
+        for a in (0, 1):
+            for b in (0, 1):
+                for c in (0, 1):
+                    sim.set_inputs({"a": a, "b": b, "c": c})
+                    sim.evaluate()
+                    expected = (1 - (a & b)) ^ c
+                    assert sim.get("y") == expected
+
+    def test_x_propagation(self):
+        sim = Simulator(make_comb())
+        sim.set_inputs({"a": X, "b": HIGH, "c": LOW})
+        sim.evaluate()
+        assert sim.get("y") == X
+
+    def test_x_blocked_by_controlling_value(self):
+        sim = Simulator(make_comb())
+        # a=0 forces NAND output to 1 regardless of b
+        sim.set_inputs({"a": LOW, "b": X, "c": LOW})
+        sim.evaluate()
+        assert sim.get("y") == HIGH
+
+    def test_unknown_net_raises(self):
+        sim = Simulator(make_comb())
+        with pytest.raises(KeyError):
+            sim.poke("zz", 1)
+        with pytest.raises(KeyError):
+            sim.get("zz")
+
+    def test_bad_value_raises(self):
+        sim = Simulator(make_comb())
+        with pytest.raises(ValueError):
+            sim.poke("a", 7)
+
+    def test_comb_loop_detected(self):
+        m = Module("loop")
+        m.add_input("a")
+        m.add_output("y")
+        m.add_instance("u0", "NAND2", A="a", B="q", Y="n")
+        m.add_instance("u1", "INV", A="n", Y="q")
+        m.add_instance("u2", "BUF", A="q", Y="y")
+        with pytest.raises(CombLoopError):
+            Simulator(m)
+
+    def test_blackbox_rejected(self):
+        m = Module("bb")
+        m.add_input("a")
+        m.add_output("y")
+        m.add_instance("u0", "MYSTERY", A="a", Y="y")
+        with pytest.raises(ValueError, match="non-library"):
+            Simulator(m)
+
+    def test_tie_cells(self):
+        m = Module("ties")
+        m.add_output("y")
+        m.add_instance("u0", "TIE1", Y="one")
+        m.add_instance("u1", "TIE0", Y="zero")
+        m.add_instance("u2", "AND2", A="one", B="zero", Y="y")
+        sim = Simulator(m)
+        sim.evaluate()
+        assert sim.get("y") == LOW
+
+
+def make_shift_register(n: int = 4) -> Module:
+    m = Module("shreg")
+    m.add_input("clk")
+    m.add_input("si")
+    m.add_output("so")
+    prev = "si"
+    for i in range(n):
+        out = "so" if i == n - 1 else f"q{i}"
+        m.add_instance(f"ff{i}", "DFF", D=prev, CK="clk", Q=out)
+        prev = out
+    return m
+
+
+class TestSequential:
+    def test_shift_register(self):
+        sim = Simulator(make_shift_register(4))
+        bits = [1, 0, 1, 1, 0, 0, 1, 0]
+        out = sim.shift("clk", "si", bits, so_net="so")
+        # after 4 cycles the first input bit appears at so
+        assert out[4:] == bits[:4]
+
+    def test_dffr_async_reset(self):
+        m = Module("r")
+        m.add_input("clk")
+        m.add_input("rn")
+        m.add_input("d")
+        m.add_output("q")
+        m.add_instance("ff", "DFFR", D="d", CK="clk", RN="rn", Q="q")
+        sim = Simulator(m)
+        sim.set_inputs({"rn": LOW, "d": HIGH, "clk": LOW})
+        sim.evaluate()
+        assert sim.get("q") == LOW  # async reset, no clock needed
+        sim.poke("rn", HIGH)
+        sim.clock("clk")
+        assert sim.get("q") == HIGH
+
+    def test_dffe_enable(self):
+        m = Module("e")
+        m.add_input("clk")
+        m.add_input("en")
+        m.add_input("d")
+        m.add_output("q")
+        m.add_instance("ff", "DFFE", D="d", CK="clk", E="en", Q="q")
+        sim = Simulator(m)
+        sim.set_inputs({"en": HIGH, "d": HIGH})
+        sim.clock("clk")
+        assert sim.get("q") == HIGH
+        sim.set_inputs({"en": LOW, "d": LOW})
+        sim.clock("clk")
+        assert sim.get("q") == HIGH  # held
+
+    def test_sdff_scan_mux(self):
+        m = Module("s")
+        m.add_input("clk")
+        for p in ("d", "si", "se"):
+            m.add_input(p)
+        m.add_output("q")
+        m.add_instance("ff", "SDFF", D="d", SI="si", SE="se", CK="clk", Q="q")
+        sim = Simulator(m)
+        sim.set_inputs({"d": LOW, "si": HIGH, "se": HIGH})
+        sim.clock("clk")
+        assert sim.get("q") == HIGH  # took scan input
+        sim.set_inputs({"se": LOW})
+        sim.clock("clk")
+        assert sim.get("q") == LOW  # took functional input
+
+    def test_latch_transparent_and_hold(self):
+        m = Module("l")
+        m.add_input("g")
+        m.add_input("d")
+        m.add_output("q")
+        m.add_instance("lat", "DLATCH", D="d", G="g", Q="q")
+        sim = Simulator(m)
+        sim.set_inputs({"g": HIGH, "d": HIGH})
+        sim.evaluate()
+        assert sim.get("q") == HIGH
+        sim.set_inputs({"g": LOW, "d": LOW})
+        sim.evaluate()
+        assert sim.get("q") == HIGH  # held
+
+    def test_clock_only_affects_its_domain(self):
+        m = Module("two_clk")
+        m.add_input("clk_a")
+        m.add_input("clk_b")
+        m.add_input("d")
+        m.add_output("qa")
+        m.add_output("qb")
+        m.add_instance("fa", "DFF", D="d", CK="clk_a", Q="qa")
+        m.add_instance("fb", "DFF", D="d", CK="clk_b", Q="qb")
+        sim = Simulator(m)
+        sim.poke("d", HIGH)
+        sim.clock("clk_a")
+        assert sim.get("qa") == HIGH
+        assert sim.get("qb") == X  # never clocked
+
+    def test_reset_state(self):
+        sim = Simulator(make_shift_register(2))
+        sim.shift("clk", "si", [1, 1])
+        sim.reset_state(LOW)
+        sim.evaluate()
+        assert sim.get("so") == LOW
+
+    @given(st.lists(st.integers(0, 1), min_size=6, max_size=20))
+    def test_property_shift_register_is_delay_line(self, bits):
+        n = 3
+        sim = Simulator(make_shift_register(n))
+        out = sim.shift("clk", "si", bits, so_net="so")
+        assert out[n:] == bits[: len(bits) - n]

@@ -1,0 +1,232 @@
+"""Pattern-translation tests, including the end-to-end replay: core
+patterns → wrapper-level ATE program → replayed cycle by cycle against
+the generated wrapper netlist in the logic simulator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.netlist import HIGH, LOW, Netlist, Simulator, flatten
+from repro.patterns import (
+    AteProgram,
+    CorePatternSet,
+    FunctionalVector,
+    ScanVector,
+    chip_level_program,
+    replay,
+    translate_core_to_wrapper,
+    wrapper_functional_program,
+    wrapper_scan_program,
+)
+from repro.sched import scan_test_time
+from repro.tam.bus import TamSlot
+from repro.wrapper import design_wrapper, generate_wrapper
+from tests.test_wrapper_netlist import make_tiny_core, make_tiny_core_module
+
+
+def vector(load: str, pi: str, po: str, unload: str) -> ScanVector:
+    return ScanVector(
+        loads={"c0": load}, pi=pi, expected_po=po, unloads={"c0": unload}
+    )
+
+
+def tiny_patterns() -> CorePatternSet:
+    """Hand-computed scan vectors for the 2-flop tiny core.
+
+    Core: d -> ff0 -> ff1 -> {q, so}; load "ab" puts a in ff1, b in ff0;
+    capture: ff0'=pi, ff1'=ff0=b; out-cell grabs q=ff1=a.
+    Unload (core level, first-out = ff1') = b then pi.
+    """
+    return CorePatternSet(
+        core_name="tiny",
+        pi_order=["d"],
+        po_order=["q"],
+        chain_order=["c0"],
+        scan_vectors=[
+            vector("10", "1", "H", "LH"),
+            vector("01", "0", "L", "HL"),
+            vector("11", "1", "H", "HH"),
+        ],
+    )
+
+
+def make_wrapped_tb():
+    """Wrap the tiny core and build a simulator with wrck/clk tied to
+    one testbench clock net 'ck'."""
+    from repro.netlist import Module
+
+    core = make_tiny_core()
+    netlist = Netlist()
+    netlist.add(make_tiny_core_module())
+    gen = generate_wrapper(core, netlist, width=1)
+    tb = Module("tb")
+    wrapper = gen.module
+    tb.add_input("ck")
+    for port in wrapper.input_ports:
+        if port not in ("wrck", "clk"):
+            tb.add_input(port)
+    for port in wrapper.output_ports:
+        tb.add_output(port)
+    conns = {p: ("ck" if p in ("wrck", "clk") else p)
+             for p in wrapper.input_ports + wrapper.output_ports}
+    tb.add_instance("u_wrap", wrapper.name, **conns)
+    netlist.add(tb)
+    netlist.top_name = "tb"
+    sim = Simulator(flatten(netlist))
+    sim.reset_state(LOW)
+    sim.set_inputs({p: LOW for p in tb.input_ports})
+    return core, gen, sim
+
+
+@pytest.fixture
+def wrapped_tb():
+    return make_wrapped_tb()
+
+
+class TestTranslateToWrapper:
+    def test_stream_lengths_match_plan(self):
+        core = make_tiny_core()
+        plan = design_wrapper(core, 1)
+        wp = translate_core_to_wrapper(core, tiny_patterns(), plan)
+        assert wp.si == 3 and wp.so == 3
+        for v in wp.vectors:
+            assert len(v.chain_loads[0]) == 3
+            assert len(v.chain_unloads[0]) == 3
+
+    def test_bit_order_load(self):
+        core = make_tiny_core()
+        plan = design_wrapper(core, 1)
+        wp = translate_core_to_wrapper(core, tiny_patterns(), plan)
+        # load "10", pi "1": path head->in-cell(1)->ff0(0)->ff1(1);
+        # stream shifts deepest value first: "101"
+        assert wp.vectors[0].chain_loads[0] == "101"
+
+    def test_bit_order_unload(self):
+        core = make_tiny_core()
+        plan = design_wrapper(core, 1)
+        wp = translate_core_to_wrapper(core, tiny_patterns(), plan)
+        # first observed = captured q ('H'), then ff1'='L', then ff0'='H'(pi)
+        assert wp.vectors[0].chain_unloads[0] == "HLH"
+
+    def test_missing_chain_data_becomes_x(self):
+        core = make_tiny_core()
+        plan = design_wrapper(core, 1)
+        patterns = CorePatternSet(
+            core_name="tiny", pi_order=["d"], po_order=["q"], chain_order=["c0"],
+            scan_vectors=[ScanVector(loads={}, pi="1", expected_po="X", unloads={})],
+        )
+        wp = translate_core_to_wrapper(core, patterns, plan)
+        assert wp.vectors[0].chain_loads[0] == "XX1"
+
+    def test_expected_cycles_matches_time_model(self):
+        core = make_tiny_core()
+        plan = design_wrapper(core, 1)
+        wp = translate_core_to_wrapper(core, tiny_patterns(), plan)
+        assert wp.expected_cycles() == scan_test_time(3, 3, 3)
+
+
+class TestWrapperScanProgram:
+    def test_cycle_count_is_time_model_plus_preamble(self):
+        core = make_tiny_core()
+        plan = design_wrapper(core, 1)
+        wp = translate_core_to_wrapper(core, tiny_patterns(), plan)
+        program = wrapper_scan_program(core, wp)
+        assert program.cycle_count == scan_test_time(3, 3, 3) + 4
+
+    def test_export_contains_all_cycles(self):
+        core = make_tiny_core()
+        plan = design_wrapper(core, 1)
+        wp = translate_core_to_wrapper(core, tiny_patterns(), plan)
+        program = wrapper_scan_program(core, wp)
+        text = program.export()
+        assert len(text.splitlines()) == program.cycle_count + 2
+
+    def test_replay_passes_on_good_wrapper(self, wrapped_tb):
+        """The headline integration check: translated cycles replayed
+        against the generated gates produce zero mismatches."""
+        core, gen, sim = wrapped_tb
+        wp = translate_core_to_wrapper(core, tiny_patterns(), gen.plan)
+        program = wrapper_scan_program(core, wp)
+        mismatches = replay(program, sim, "ck")
+        assert mismatches == []
+
+    def test_replay_catches_wrong_expectations(self, wrapped_tb):
+        core, gen, sim = wrapped_tb
+        bad = tiny_patterns()
+        bad.scan_vectors[1] = vector("01", "0", "H", "HL")  # po should be L
+        wp = translate_core_to_wrapper(core, bad, gen.plan)
+        program = wrapper_scan_program(core, wp)
+        mismatches = replay(program, sim, "ck")
+        assert mismatches
+        assert mismatches[0].pin == "wpo0"
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        loads=st.lists(st.text(alphabet="01", min_size=2, max_size=2),
+                       min_size=1, max_size=4),
+        pis=st.data(),
+    )
+    def test_property_random_vectors_replay_clean(self, loads, pis):
+        """Behaviour-derived expectations always replay clean: for any
+        load/pi choice, computing the expected response from the core
+        semantics yields a passing program."""
+        core, gen, sim = make_wrapped_tb()
+
+        vectors = []
+        for load in loads:
+            pi = pis.draw(st.text(alphabet="01", min_size=1, max_size=1))
+            a, b = load[0], load[1]  # ff1 = a, ff0 = b
+            po = "H" if a == "1" else "L"
+            unload = ("H" if b == "1" else "L") + ("H" if pi == "1" else "L")
+            vectors.append(vector(load, pi, po, unload))
+        patterns = CorePatternSet(
+            core_name="tiny", pi_order=["d"], po_order=["q"],
+            chain_order=["c0"], scan_vectors=vectors,
+        )
+        wp = translate_core_to_wrapper(core, patterns, gen.plan)
+        program = wrapper_scan_program(core, wp)
+        assert replay(program, sim, "ck") == []
+
+
+class TestFunctionalProgram:
+    def test_replay_functional(self, wrapped_tb):
+        core, gen, sim = wrapped_tb
+        patterns = CorePatternSet(
+            core_name="tiny", pi_order=["d"], po_order=["q"],
+            functional_vectors=[
+                FunctionalVector(pi="1", expected_po="X"),
+                FunctionalVector(pi="1", expected_po="X"),
+                FunctionalVector(pi="1", expected_po="H"),  # 2-cycle latency
+                FunctionalVector(pi="0", expected_po="H"),
+                FunctionalVector(pi="0", expected_po="H"),
+                FunctionalVector(pi="0", expected_po="L"),
+            ],
+        )
+        program = wrapper_functional_program(core, patterns)
+        assert replay(program, sim, "ck") == []
+
+    def test_cycle_count(self):
+        core = make_tiny_core()
+        patterns = CorePatternSet(
+            core_name="tiny", pi_order=["d"], po_order=["q"],
+            functional_vectors=[FunctionalVector(pi="1", expected_po="X")] * 5,
+        )
+        program = wrapper_functional_program(core, patterns)
+        assert program.cycle_count == 5 + 4  # vectors + WIR preamble
+
+
+class TestChipLevel:
+    def test_pin_renaming(self):
+        program = AteProgram("t")
+        program.add(drive={"wpi0": "1"}, expect={"wpo0": "H"})
+        slot = TamSlot(session=0, core_name="c", task_name="c.scan", wires=(5,))
+        chip = chip_level_program(program, slot, session_preamble=2)
+        assert chip.cycle_count == 3
+        assert chip.cycles[2].drive["tam_in5"] == "1"
+        assert chip.cycles[2].expect["tam_out5"] == "H"
+
+    def test_preamble_start_pulse(self):
+        program = AteProgram("t")
+        slot = TamSlot(session=0, core_name="c", task_name="c.scan", wires=(0,))
+        chip = chip_level_program(program, slot, session_preamble=3)
+        assert chip.cycles[0].drive["tc_start"] == "1"
+        assert chip.cycles[1].drive["tc_start"] == "0"

@@ -1,0 +1,317 @@
+"""Tests for session-based, non-session, serial and ILP schedulers."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sched import (
+    InfeasibleScheduleError,
+    SharingPolicy,
+    TestTask,
+    assign_widths,
+    build_session,
+    control_pins,
+    io_sharing_report,
+    schedule_nonsession,
+    schedule_serial,
+    schedule_sessions,
+    tasks_from_soc,
+)
+from repro.sched.ilp import candidate_widths, schedule_ilp
+from repro.soc import ControlNeeds, Soc, TestKind
+from repro.soc.dsc import build_dsc_chip
+
+
+def fixed_task(name, time, core=None, power=0.0, **kw):
+    return TestTask(
+        name=name,
+        core_name=core or name,
+        kind=TestKind.FUNCTIONAL,
+        fixed_time=time,
+        power=power,
+        **kw,
+    )
+
+
+def scan_task(name, base, core=None, max_width=4, power=0.0, **kw):
+    """Synthetic scan task: time = base/width (perfectly divisible)."""
+    return TestTask(
+        name=name,
+        core_name=core or name,
+        kind=TestKind.SCAN,
+        time_fn=lambda w: base // min(w, max_width),
+        max_width=max_width,
+        control=ControlNeeds(clocks=1, resets=1, scan_enables=1),
+        clock_domains=(f"{name}_clk",),
+        power=power,
+        **kw,
+    )
+
+
+class TestControlPins:
+    def test_dsc_dedicated_is_19(self):
+        tasks = tasks_from_soc(build_dsc_chip())
+        # count each core once (TV has two tests with the same controls)
+        per_core = {t.core_name: t for t in tasks}
+        raw = sum(t.control.total for t in per_core.values())
+        assert raw == 19
+
+    def test_sharing_reduces(self):
+        tasks = list({t.core_name: t for t in tasks_from_soc(build_dsc_chip())}.values())
+        shared = control_pins(tasks, SharingPolicy())
+        dedicated = control_pins(tasks, SharingPolicy.none())
+        # shared: 6 clock domains + 1 reset + 1 SE = 8
+        assert shared == 8
+        assert dedicated == 19
+
+    def test_bist_port_pins(self):
+        task = fixed_task("m", 100, uses_bist_port=True)
+        assert control_pins([task]) == 4
+
+    def test_report_renders(self):
+        tasks = list({t.core_name: t for t in tasks_from_soc(build_dsc_chip())}.values())
+        text = io_sharing_report(tasks).render()
+        assert "19" in text and "8" in text
+
+
+class TestAssignWidths:
+    def test_no_scan_tasks(self):
+        assert assign_widths([fixed_task("a", 10)], 4) == {}
+
+    def test_insufficient_pairs(self):
+        tasks = [scan_task("a", 100), scan_task("b", 100)]
+        assert assign_widths(tasks, 2) is None  # one pair for two tasks
+
+    def test_extra_wires_go_to_critical(self):
+        a = scan_task("a", 1000, max_width=4)
+        b = scan_task("b", 100, max_width=4)
+        widths = assign_widths([a, b], 10)  # 5 pairs
+        assert widths["a"] > widths["b"]
+
+    def test_saturated_critical_stops_granting(self):
+        a = scan_task("a", 1000, max_width=1)
+        b = scan_task("b", 10, max_width=4)
+        widths = assign_widths([a, b], 12)
+        assert widths["a"] == 1
+
+
+class TestBuildSession:
+    def _soc(self, pins=32, power=0.0):
+        return Soc("t", test_pins=pins, power_budget=power)
+
+    def test_core_mutex(self):
+        t1 = fixed_task("a.x", 10, core="a")
+        t2 = fixed_task("a.y", 10, core="a")
+        assert build_session(0, [t1, t2], self._soc()) is None
+
+    def test_functional_exclusivity(self):
+        t1 = fixed_task("a", 10, uses_functional_pins=True)
+        t2 = fixed_task("b", 10, uses_functional_pins=True)
+        assert build_session(0, [t1, t2], self._soc()) is None
+
+    def test_power_budget(self):
+        t1 = fixed_task("a", 10, power=5)
+        t2 = fixed_task("b", 10, power=6)
+        assert build_session(0, [t1, t2], self._soc(power=10)) is None
+        assert build_session(0, [t1, t2], self._soc(power=11)) is not None
+
+    def test_pin_budget(self):
+        t = scan_task("a", 100)
+        session = build_session(0, [t], self._soc(pins=5))
+        # 3 control pins + 2 data pins = exactly fits at width 1
+        assert session is not None
+        assert session.tests[0].width == 1
+
+    def test_session_length_is_max(self):
+        t1 = fixed_task("a", 100)
+        t2 = fixed_task("b", 30)
+        session = build_session(0, [t1, t2], self._soc())
+        assert session.length == 100
+
+
+class TestScheduleSessions:
+    def test_single_task(self):
+        soc = Soc("t", test_pins=16)
+        result = schedule_sessions(soc, [fixed_task("a", 100)])
+        assert result.total_time == 100
+        assert result.session_count == 1
+
+    def test_parallelizes_when_free(self):
+        soc = Soc("t", test_pins=32)
+        tasks = [fixed_task("a", 100), fixed_task("b", 100)]
+        result = schedule_sessions(soc, tasks)
+        assert result.total_time == 100  # one session, concurrent
+
+    def test_serializes_on_power(self):
+        soc = Soc("t", test_pins=32, power_budget=5)
+        tasks = [fixed_task("a", 100, power=4), fixed_task("b", 100, power=4)]
+        result = schedule_sessions(soc, tasks)
+        assert result.session_count == 2
+        assert result.total_time > 200  # includes reconfig
+
+    def test_respects_requested_session_count(self):
+        soc = Soc("t", test_pins=32)
+        tasks = [fixed_task(f"t{i}", 50 + i) for i in range(4)]
+        result = schedule_sessions(soc, tasks, n_sessions=2)
+        assert result.session_count <= 2
+
+    def test_infeasible_raises(self):
+        soc = Soc("t", test_pins=2)
+        task = scan_task("a", 100)  # needs 3 control + 2 data pins
+        with pytest.raises(InfeasibleScheduleError):
+            schedule_sessions(soc, [task])
+
+    def test_renders(self):
+        soc = Soc("t", test_pins=16)
+        result = schedule_sessions(soc, [fixed_task("a", 100)])
+        assert "total test time" in result.render()
+
+    def test_empty_tasks(self):
+        result = schedule_sessions(Soc("t", test_pins=8), [])
+        assert result.total_time == 0
+
+
+class TestScheduleSerial:
+    def test_one_session_per_task(self):
+        soc = Soc("t", test_pins=32)
+        tasks = [fixed_task(f"t{i}", 100) for i in range(3)]
+        result = schedule_serial(soc, tasks)
+        assert result.session_count == 3
+        assert result.total_time >= 300
+
+    def test_serial_never_beats_session_search(self):
+        soc = Soc("t", test_pins=32)
+        tasks = [fixed_task(f"t{i}", 100) for i in range(3)]
+        serial = schedule_serial(soc, tasks)
+        best = schedule_sessions(soc, tasks)
+        assert best.total_time <= serial.total_time
+
+
+class TestScheduleNonSession:
+    def test_packs_rectangles(self):
+        soc = Soc("t", test_pins=32)
+        tasks = [fixed_task("a", 100), fixed_task("b", 60), fixed_task("c", 40)]
+        result = schedule_nonsession(soc, tasks)
+        assert result.total_time == 100  # all fit concurrently
+
+    def test_functional_exclusivity_serializes(self):
+        soc = Soc("t", test_pins=32)
+        tasks = [
+            fixed_task("a", 100, uses_functional_pins=True),
+            fixed_task("b", 60, uses_functional_pins=True),
+        ]
+        result = schedule_nonsession(soc, tasks)
+        assert result.total_time == 160
+
+    def test_control_pins_reserved_globally(self):
+        # two scan tasks with dedicated controls: 3+3=6 control pins;
+        # with 8 total pins only 1 wire pair remains -> serialized
+        soc = Soc("t", test_pins=8)
+        tasks = [scan_task("a", 120, max_width=2), scan_task("b", 120, max_width=2)]
+        result = schedule_nonsession(soc, tasks)
+        assert result.total_time == 240
+
+    def test_power_budget_respected(self):
+        soc = Soc("t", test_pins=32, power_budget=5)
+        tasks = [fixed_task("a", 100, power=4), fixed_task("b", 100, power=4)]
+        result = schedule_nonsession(soc, tasks)
+        assert result.total_time == 200
+
+    def test_infeasible_when_no_wires_left(self):
+        soc = Soc("t", test_pins=6)
+        tasks = [scan_task("a", 100), scan_task("b", 100)]  # 6 control pins
+        with pytest.raises(InfeasibleScheduleError):
+            schedule_nonsession(soc, tasks)
+
+    def test_start_times_consistent(self):
+        soc = Soc("t", test_pins=32, power_budget=5)
+        tasks = [fixed_task(f"t{i}", 50, power=3) for i in range(4)]
+        result = schedule_nonsession(soc, tasks)
+        tests = result.sessions[0].tests
+        # power 5 allows one at a time: starts must all differ
+        starts = sorted(t.start for t in tests)
+        assert starts == [0, 50, 100, 150]
+
+
+class TestIlp:
+    def test_candidate_widths_pruned(self):
+        t = scan_task("a", 100, max_width=4)
+        # every width strictly improves (100, 50, 33, 25): all kept
+        assert candidate_widths(t, 8) == [1, 2, 3, 4]
+        # a plateau is pruned: constant-time task offers only width 1
+        flat = TestTask(
+            name="flat", core_name="flat", kind=TestKind.SCAN,
+            time_fn=lambda w: 100, max_width=4,
+        )
+        assert candidate_widths(flat, 8) == [1]
+
+    def test_candidate_widths_fixed_task(self):
+        assert candidate_widths(fixed_task("a", 5), 8) == [0]
+
+    def test_ilp_matches_heuristic_small(self):
+        soc = Soc("t", test_pins=16)
+        tasks = [
+            scan_task("a", 400, max_width=2),
+            scan_task("b", 300, max_width=2),
+            fixed_task("c", 350),
+        ]
+        ilp = schedule_ilp(soc, tasks, n_sessions=2, time_limit=20)
+        heur = schedule_sessions(soc, tasks)
+        assert ilp.total_time <= heur.total_time
+
+    def test_ilp_power_serializes(self):
+        soc = Soc("t", test_pins=32, power_budget=5)
+        tasks = [fixed_task("a", 100, power=4), fixed_task("b", 100, power=4)]
+        result = schedule_ilp(soc, tasks, n_sessions=2, time_limit=10)
+        assert result.session_count == 2
+
+
+class TestDscShape:
+    """The paper's Section 3 observation on the DSC chip (core tests)."""
+
+    def test_session_beats_nonsession_under_tight_pins(self):
+        soc = build_dsc_chip(test_pins=24)
+        tasks = tasks_from_soc(soc)
+        session = schedule_sessions(soc, tasks)
+        nonsession = schedule_nonsession(soc, tasks)
+        assert session.total_time < nonsession.total_time
+
+    def test_nonsession_can_win_with_plentiful_pins(self):
+        soc = build_dsc_chip(test_pins=64)
+        tasks = tasks_from_soc(soc)
+        session = schedule_sessions(soc, tasks)
+        nonsession = schedule_nonsession(soc, tasks)
+        assert nonsession.total_time <= session.total_time
+
+    def test_all_strategies_respect_budget(self):
+        soc = build_dsc_chip(test_pins=26)
+        tasks = tasks_from_soc(soc)
+        for result in (
+            schedule_sessions(soc, tasks),
+            schedule_serial(soc, tasks),
+        ):
+            for session in result.sessions:
+                used = session.control_pins + sum(
+                    2 * t.width for t in session.tests if t.task.is_scan
+                )
+                assert used <= soc.test_pins
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    times=st.lists(st.integers(10, 1000), min_size=1, max_size=6),
+    pins=st.integers(8, 48),
+    budget=st.sampled_from([0.0, 5.0, 10.0]),
+)
+def test_property_session_schedule_sound(times, pins, budget):
+    """Random fixed tasks: every task scheduled exactly once, session
+    lengths equal their longest member, total >= longest task."""
+    soc = Soc("t", test_pins=pins, power_budget=budget)
+    tasks = [fixed_task(f"t{i}", time, power=2.0) for i, time in enumerate(times)]
+    result = schedule_sessions(soc, tasks)
+    names = [t.task.name for s in result.sessions for t in s.tests]
+    assert sorted(names) == sorted(t.name for t in tasks)
+    assert result.total_time >= max(times)
+    for session in result.sessions:
+        assert session.length == max(t.length for t in session.tests)
+        if budget:
+            assert session.power <= budget + 1e-9

@@ -1,0 +1,77 @@
+"""Scheduler stress tests on synthetic SOCs: the schedulers must stay
+sound across randomly generated chips of varying shape."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bist import MARCH_C_MINUS, plan_bist
+from repro.sched import (
+    InfeasibleScheduleError,
+    schedule_nonsession,
+    schedule_serial,
+    schedule_sessions,
+    tasks_from_soc,
+)
+from repro.soc.synth import synth_soc
+
+
+class TestSynthSoc:
+    def test_reproducible(self):
+        a = synth_soc(seed=42)
+        b = synth_soc(seed=42)
+        assert [c.name for c in a.cores] == [c.name for c in b.cores]
+        assert [c.scan_flops for c in a.cores] == [c.scan_flops for c in b.cores]
+
+    def test_different_seeds_differ(self):
+        a = synth_soc(seed=1)
+        b = synth_soc(seed=2)
+        assert [c.scan_flops for c in a.cores] != [c.scan_flops for c in b.cores]
+
+    def test_structure(self):
+        soc = synth_soc(n_cores=5, n_memories=3, seed=9)
+        assert len(soc.cores) == 5
+        assert len(soc.memories) == 3
+        assert all(c.tests for c in soc.cores)
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_property_session_scheduler_sound_on_synthetic_socs(seed):
+    """For any synthetic SOC: every test scheduled exactly once, budgets
+    respected, serial baseline never beaten by more than its own length."""
+    soc = synth_soc(n_cores=6, n_memories=4, test_pins=56, power_budget=12.0, seed=seed)
+    plan = plan_bist(soc.memories, MARCH_C_MINUS, power_budget=soc.power_budget)
+    tasks = tasks_from_soc(soc) + plan.to_tasks()
+    result = schedule_sessions(soc, tasks)
+    names = sorted(t.task.name for s in result.sessions for t in s.tests)
+    assert names == sorted(t.name for t in tasks)
+    for session in result.sessions:
+        assert session.power <= soc.power_budget + 1e-9
+        data_used = sum(2 * t.width for t in session.tests if t.task.is_scan)
+        assert session.control_pins + data_used <= soc.test_pins
+    serial = schedule_serial(soc, tasks)
+    assert result.total_time <= serial.total_time
+
+
+@settings(max_examples=5, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_property_nonsession_sound_or_infeasible(seed):
+    """Non-session either schedules everything without overlap violations
+    or raises cleanly."""
+    soc = synth_soc(n_cores=5, n_memories=3, test_pins=64, power_budget=12.0, seed=seed)
+    tasks = tasks_from_soc(soc)
+    try:
+        result = schedule_nonsession(soc, tasks)
+    except InfeasibleScheduleError:
+        return
+    tests = result.sessions[0].tests
+    assert len(tests) == len(tasks)
+    # per-core mutex: intervals of the same core never overlap
+    by_core: dict[str, list] = {}
+    for t in tests:
+        by_core.setdefault(t.task.core_name, []).append((t.start, t.finish))
+    for intervals in by_core.values():
+        intervals.sort()
+        for (s1, f1), (s2, f2) in zip(intervals, intervals[1:]):
+            assert f1 <= s2
+    assert result.total_time == max(t.finish for t in tests)

@@ -1,0 +1,146 @@
+"""Integration tests for the STEAC platform (the paper's Fig. 1 flow)."""
+
+import pytest
+
+from repro.atpg import generate_scan_patterns
+from repro.core import IntegrationResult, Steac, SteacConfig
+from repro.sched import SESSION_RECONFIG_CYCLES
+from repro.soc import Soc
+from repro.soc.demo import build_demo_core, build_demo_core_module
+from repro.soc.dsc import build_dsc_chip
+from repro.stil import core_to_stil
+
+
+@pytest.fixture(scope="module")
+def dsc_result() -> IntegrationResult:
+    return Steac().integrate(build_dsc_chip())
+
+
+class TestDscIntegration:
+    def test_schedule_strategy(self, dsc_result):
+        assert dsc_result.schedule.strategy == "session-based"
+        assert dsc_result.total_test_time > 0
+
+    def test_paper_shape_session_beats_nonsession_and_serial(self, dsc_result):
+        """Section 3: session-based shortest; 'parallel testing may not
+        be better than serial testing' (non-session loses to serial)."""
+        c = dsc_result.comparison
+        assert c["session"] < c["serial"]
+        assert c["session"] < c["nonsession"]
+        assert c["serial"] < c["nonsession"]
+
+    def test_total_time_magnitude(self, dsc_result):
+        """Millions of cycles, same decade as the paper's 4,371,194."""
+        assert 1_000_000 < dsc_result.total_test_time < 10_000_000
+
+    def test_all_tasks_scheduled(self, dsc_result):
+        names = [t.task.name for s in dsc_result.schedule.sessions for t in s.tests]
+        assert len(names) == len(set(names))
+        core_tests = {n for n in names if not n.startswith("MBIST")}
+        assert core_tests == {"USB.usb_scan", "TV.tv_scan", "TV.tv_func", "JPEG.jpeg_func"}
+        assert any(n.startswith("MBIST") for n in names)
+
+    def test_wrappers_generated_for_wrapped_cores(self, dsc_result):
+        assert set(dsc_result.wrappers) == {"USB", "TV", "JPEG"}
+        # WBC counts = PI+PO bits per core (Table 1)
+        assert dsc_result.wrappers["USB"].wbc_count == 221 + 104
+        assert dsc_result.wrappers["TV"].wbc_count == 25 + 40
+        assert dsc_result.wrappers["JPEG"].wbc_count == 165 + 104
+
+    def test_bist_engine_covers_all_memories(self, dsc_result):
+        assert dsc_result.bist_engine is not None
+        assert dsc_result.bist_engine.plan.memory_count == 22
+
+    def test_top_netlist_validates(self, dsc_result):
+        top = dsc_result.netlist.top
+        assert top.validate(dsc_result.netlist) == []
+
+    def test_area_overhead_below_one_percent(self, dsc_result):
+        """Paper: controller+TAM ≈ 0.3% of the chip."""
+        report = dsc_result.dft_area_report
+        assert 0.0 < report.overhead_percent < 1.0
+
+    def test_controller_and_mux_gate_scale(self, dsc_result):
+        report = dsc_result.dft_area_report
+        gates = {item.name: item.gates for item in report.items}
+        assert 50 <= gates["Test Controller"] <= 1000
+        assert 5 <= gates["TAM multiplexer"] <= 500
+
+    def test_runtime_seconds_not_minutes(self, dsc_result):
+        """Paper: 5 minutes on a Sun Blade 1000; ours: seconds."""
+        assert dsc_result.runtime_seconds < 60
+
+    def test_report_renders_everything(self, dsc_result):
+        text = dsc_result.report()
+        for token in ("session-based", "Scheduling comparison", "BIST plan",
+                      "DFT area overhead", "integration runtime"):
+            assert token in text
+
+    def test_verilog_export(self, dsc_result):
+        from repro.netlist import netlist_to_verilog
+
+        text = netlist_to_verilog(dsc_result.netlist)
+        assert "module dsc_controller_test_top" in text
+        assert "USB_wrapper" in text
+
+
+class TestHeadroomAblation:
+    def test_headroom_reduces_total_time(self):
+        base = Steac().integrate(build_dsc_chip())
+        opt = Steac(SteacConfig(bist_power_headroom=True)).integrate(build_dsc_chip())
+        assert opt.total_test_time < base.total_test_time
+
+
+class TestStilDrivenFlow:
+    def test_stil_input_replaces_core_and_translates(self):
+        """Full Fig.-1 loop on the demo core: ATPG → STIL → STEAC →
+        translated ATE program."""
+        module = build_demo_core_module()
+        atpg = generate_scan_patterns(module, build_demo_core())
+        core = build_demo_core(patterns=atpg.pattern_count)
+        stil_text = core_to_stil(core, atpg.patterns)
+
+        soc = Soc("demo_soc", test_pins=16)
+        result = Steac().integrate(soc, stil_texts={"demo": stil_text})
+        assert "demo" in result.wrappers
+        assert "demo.scan" in result.programs
+        program = result.programs["demo.scan"]
+        # chip-level program: preamble + WIR + scan cycles
+        from repro.sched import scan_test_time
+
+        plan = result.wrappers["demo"].plan
+        scan_cycles = scan_test_time(
+            plan.scan_in_depth, plan.scan_out_depth, atpg.pattern_count
+        )
+        assert program.cycle_count == scan_cycles + 4 + 4  # WIR + session preamble
+
+    def test_fixed_session_count(self):
+        # memory-less SOC: the DSC's 8 BIST groups are mutually exclusive
+        # (one engine), so they force >= 8 sessions there
+        soc = Soc("three", test_pins=24)
+        for i in range(4):
+            soc.add_core(build_demo_core(name=f"demo{i}", patterns=3))
+        result = Steac(SteacConfig(n_sessions=3, compare_strategies=False)).integrate(soc)
+        assert result.schedule.session_count <= 3
+
+    def test_nonsession_strategy_selectable(self):
+        soc = build_dsc_chip()
+        result = Steac(
+            SteacConfig(strategy="nonsession", compare_strategies=False)
+        ).integrate(soc)
+        assert result.schedule.strategy == "non-session"
+
+    def test_bad_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            Steac(SteacConfig(strategy="magic", compare_strategies=False)).integrate(
+                build_dsc_chip()
+            )
+
+
+class TestSocWithoutMemories:
+    def test_logic_only_integration(self):
+        soc = Soc("logic_only", test_pins=16)
+        soc.add_core(build_demo_core(patterns=5))
+        result = Steac().integrate(soc)
+        assert result.bist_engine is None
+        assert result.total_test_time > 0

@@ -1,0 +1,157 @@
+"""Tests for wrapper-chain balancing (the Design_wrapper problem)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.soc import Core, CoreType, Direction, Port, ScanChain, SignalKind
+from repro.soc.dsc import build_jpeg_core, build_usb_core
+from repro.wrapper import design_wrapper, partition_greedy, partition_optimal
+
+
+def _makespan(lengths, bins):
+    return max((sum(lengths[i] for i in b) for b in bins), default=0)
+
+
+class TestPartitionGreedy:
+    def test_single_bin(self):
+        bins = partition_greedy([5, 3, 2], 1)
+        assert sorted(bins[0]) == [0, 1, 2]
+
+    def test_balances_two_bins(self):
+        lengths = [10, 9, 8, 7]
+        bins = partition_greedy(lengths, 2)
+        assert _makespan(lengths, bins) == 17
+
+    def test_empty_items(self):
+        assert partition_greedy([], 3) == [[], [], []]
+
+    def test_all_items_assigned_once(self):
+        lengths = [4, 4, 4, 4, 4]
+        bins = partition_greedy(lengths, 3)
+        flat = sorted(i for b in bins for i in b)
+        assert flat == list(range(5))
+
+    def test_width_zero_rejected(self):
+        with pytest.raises(ValueError):
+            partition_greedy([1], 0)
+
+
+class TestPartitionOptimal:
+    def test_beats_greedy_on_hard_case(self):
+        # greedy (LPT) is suboptimal here: optimal = 12, LPT = 13
+        lengths = [7, 6, 5, 4, 4, 4]
+        greedy = _makespan(lengths, partition_greedy(lengths, 2))
+        optimal = _makespan(lengths, partition_optimal(lengths, 2))
+        assert optimal <= greedy
+        assert optimal == 15
+
+    def test_exact_small(self):
+        lengths = [5, 5, 4, 3, 3]
+        assert _makespan(lengths, partition_optimal(lengths, 2)) == 10
+
+    def test_empty(self):
+        assert partition_optimal([], 2) == [[], []]
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        lengths=st.lists(st.integers(1, 30), min_size=1, max_size=8),
+        width=st.integers(1, 3),
+    )
+    def test_property_optimal_not_worse_than_greedy(self, lengths, width):
+        greedy = _makespan(lengths, partition_greedy(lengths, width))
+        optimal = _makespan(lengths, partition_optimal(lengths, width))
+        assert optimal <= greedy
+        # LPT approximation guarantee: greedy <= (4/3 - 1/(3m)) * OPT
+        assert greedy <= (4 / 3) * optimal + 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        lengths=st.lists(st.integers(1, 30), min_size=1, max_size=8),
+        width=st.integers(1, 3),
+    )
+    def test_property_partition_is_complete(self, lengths, width):
+        bins = partition_optimal(lengths, width)
+        flat = sorted(i for b in bins for i in b)
+        assert flat == list(range(len(lengths)))
+        assert _makespan(lengths, bins) >= max(lengths)
+
+
+def _hard_core(chain_lengths, pi=4, po=3) -> Core:
+    ports = [
+        Port("clk", Direction.IN, SignalKind.CLOCK),
+        Port("se", Direction.IN, SignalKind.SCAN_ENABLE),
+    ]
+    chains = []
+    for i, length in enumerate(chain_lengths):
+        ports.append(Port(f"si{i}", Direction.IN, SignalKind.SCAN_IN))
+        ports.append(Port(f"so{i}", Direction.OUT, SignalKind.SCAN_OUT))
+        chains.append(ScanChain(f"c{i}", length, f"si{i}", f"so{i}"))
+    if pi:
+        ports.append(Port("d", Direction.IN, width=pi))
+    if po:
+        ports.append(Port("q", Direction.OUT, width=po))
+    return Core("hard", core_type=CoreType.HARD, ports=ports, scan_chains=chains)
+
+
+class TestDesignWrapper:
+    def test_cell_counts_match_functional_bits(self):
+        plan = design_wrapper(_hard_core([10, 5], pi=4, po=3), 2)
+        assert plan.boundary_cells == 7
+        assert sum(c.input_cells for c in plan.chains) == 4
+        assert sum(c.output_cells for c in plan.chains) == 3
+
+    def test_depths_with_width_equal_chains(self):
+        plan = design_wrapper(_hard_core([10, 5], pi=0, po=0), 2)
+        assert plan.scan_in_depth == 10
+        assert plan.scan_out_depth == 10
+
+    def test_width_one_serializes_everything(self):
+        plan = design_wrapper(_hard_core([10, 5], pi=4, po=3), 1)
+        assert plan.scan_in_depth == 19  # 4 + 15
+        assert plan.scan_out_depth == 18  # 15 + 3
+
+    def test_input_cells_fill_short_chains(self):
+        plan = design_wrapper(_hard_core([10, 2], pi=6, po=0), 2)
+        # the 6 input cells should pile onto the length-2 chain first
+        assert plan.scan_in_depth == 10
+
+    def test_soft_core_rebalances(self):
+        core = _hard_core([10, 5], pi=0, po=0)
+        core.core_type = CoreType.SOFT
+        plan = design_wrapper(core, 3)
+        assert plan.rebalanced
+        assert plan.scan_in_depth == 5  # 15 flops / 3 chains
+
+    def test_legacy_core_boundary_only(self):
+        plan = design_wrapper(build_jpeg_core(), 4)
+        # JPEG: 165 PI + 104 PO, no scan
+        assert plan.boundary_cells == 269
+        assert plan.scan_in_depth == 42  # ceil(165/4)
+        assert plan.scan_out_depth == 26  # ceil(104/4)
+
+    def test_usb_width4_keeps_longest_chain_dominant(self):
+        plan = design_wrapper(build_usb_core(), 4)
+        # longest internal chain is 1629; boundary cells cannot exceed it
+        assert plan.scan_in_depth == 1629
+        assert plan.scan_out_depth == 1629
+
+    def test_usb_width1(self):
+        plan = design_wrapper(build_usb_core(), 1)
+        assert plan.scan_in_depth == 2045 + 221
+        assert plan.scan_out_depth == 2045 + 104
+
+    @given(width=st.integers(1, 8))
+    def test_property_depths_monotone_in_width(self, width):
+        core = _hard_core([30, 20, 10, 5], pi=16, po=8)
+        wide = design_wrapper(core, width)
+        wider = design_wrapper(core, width + 1)
+        assert wider.scan_in_depth <= wide.scan_in_depth
+        assert wider.scan_out_depth <= wide.scan_out_depth
+
+    @given(width=st.integers(1, 6), pi=st.integers(0, 40), po=st.integers(0, 40))
+    def test_property_cells_conserved(self, width, pi, po):
+        core = _hard_core([7, 3], pi=max(pi, 1), po=max(po, 1))
+        plan = design_wrapper(core, width)
+        assert sum(c.input_cells for c in plan.chains) == max(pi, 1)
+        assert sum(c.output_cells for c in plan.chains) == max(po, 1)
+        assert sum(len(c.internal_chains) for c in plan.chains) == 2

@@ -1,0 +1,289 @@
+"""Gate-level verification of generated wrappers: the WBC cell, the WIR,
+and a full wrapper around a small real core, exercised through the logic
+simulator."""
+
+import pytest
+
+from repro.netlist import HIGH, LOW, X, Module, Netlist, Simulator, flatten
+from repro.soc import Core, CoreType, Direction, Port, ScanChain, SignalKind, scan_test
+from repro.wrapper import (
+    WBC_AREA,
+    WBC_LIGHT_AREA,
+    WBY_AREA,
+    WIR_AREA,
+    WrapperInstruction,
+    generate_wrapper,
+    make_wbc_cell,
+    make_wby_cell,
+    make_wir,
+    wir_shift_sequence,
+)
+
+
+class TestWbcCell:
+    """The paper: 'The area of the WBR cell is equivalent to 26 two-input
+    NAND gates.'"""
+
+    def test_area_is_26(self):
+        assert WBC_AREA == pytest.approx(26.0)
+
+    def test_light_cell_smaller(self):
+        assert WBC_LIGHT_AREA < WBC_AREA
+
+    def test_structure_validates(self):
+        assert make_wbc_cell().validate() == []
+        assert make_wby_cell().validate() == []
+
+    def _sim(self):
+        sim = Simulator(make_wbc_cell("WBC_T"))
+        sim.reset_state(LOW)
+        sim.set_inputs({p: LOW for p in ("cfi", "cti", "shift", "capture",
+                                         "update", "mode", "safe_en", "wrck")})
+        return sim
+
+    def test_functional_mode_is_transparent(self):
+        sim = self._sim()
+        sim.poke("cfi", HIGH)
+        sim.evaluate()
+        assert sim.get("cfo") == HIGH
+        sim.poke("cfi", LOW)
+        sim.evaluate()
+        assert sim.get("cfo") == LOW
+
+    def test_shift_moves_cti_to_cto(self):
+        sim = self._sim()
+        sim.set_inputs({"shift": HIGH, "cti": HIGH})
+        sim.clock("wrck")
+        assert sim.get("cto") == HIGH
+
+    def test_hold_without_shift_or_capture(self):
+        sim = self._sim()
+        sim.set_inputs({"shift": HIGH, "cti": HIGH})
+        sim.clock("wrck")
+        sim.set_inputs({"shift": LOW, "cti": LOW})
+        sim.clock("wrck")
+        assert sim.get("cto") == HIGH  # held
+
+    def test_capture_takes_cfi(self):
+        sim = self._sim()
+        sim.set_inputs({"capture": HIGH, "cfi": HIGH})
+        sim.clock("wrck")
+        assert sim.get("cto") == HIGH
+
+    def test_update_and_test_mode_drive_cfo(self):
+        sim = self._sim()
+        sim.set_inputs({"shift": HIGH, "cti": HIGH})
+        sim.clock("wrck")
+        sim.set_inputs({"shift": LOW, "mode": HIGH, "update": HIGH})
+        sim.evaluate()
+        sim.poke("update", LOW)
+        sim.evaluate()
+        assert sim.get("cfo") == HIGH  # latched test value
+
+    def test_safe_mode_forces_zero(self):
+        sim = self._sim()
+        sim.set_inputs({"cfi": HIGH, "safe_en": HIGH})
+        sim.evaluate()
+        assert sim.get("cfo") == LOW
+
+
+class TestWir:
+    def test_area_positive(self):
+        assert WIR_AREA > 20
+
+    def test_validates(self):
+        assert make_wir("WIR_T").validate() == []
+
+    def _load(self, sim, instruction):
+        sim.set_inputs({"selectwir": HIGH, "shiftwr": HIGH, "updatewr": LOW})
+        for bit in wir_shift_sequence(instruction):
+            sim.poke("wsi", bit)
+            sim.clock("wrck")
+        sim.set_inputs({"shiftwr": LOW, "updatewr": HIGH})
+        sim.evaluate()
+        sim.set_inputs({"updatewr": LOW, "selectwir": LOW})
+        sim.evaluate()
+
+    @pytest.mark.parametrize("instruction", list(WrapperInstruction))
+    def test_decode_one_hot(self, instruction):
+        sim = Simulator(make_wir("WIR_T"))
+        sim.reset_state(LOW)
+        sim.set_inputs({p: LOW for p in ("wsi", "selectwir", "shiftwr", "updatewr", "wrck")})
+        self._load(sim, instruction)
+        for other in WrapperInstruction:
+            expected = HIGH if other is instruction else LOW
+            assert sim.get(f"dec_{other.name}") == expected, (instruction, other)
+
+    def test_shift_blocked_without_selectwir(self):
+        sim = Simulator(make_wir("WIR_T"))
+        sim.reset_state(LOW)
+        sim.set_inputs({"selectwir": LOW, "shiftwr": HIGH, "updatewr": LOW, "wsi": HIGH})
+        sim.clock("wrck", cycles=3)
+        # shift register must still be all zero
+        self._load_noop_check(sim)
+
+    def _load_noop_check(self, sim):
+        sim.set_inputs({"selectwir": HIGH, "updatewr": HIGH, "shiftwr": LOW})
+        sim.evaluate()
+        sim.set_inputs({"updatewr": LOW, "selectwir": LOW})
+        sim.evaluate()
+        assert sim.get("dec_FUNCTIONAL") == HIGH  # opcode 0
+
+
+def make_tiny_core_module() -> Module:
+    """A 2-flop scannable core: d -> ff0 -> ff1 -> q, scan si->ff0->ff1->so."""
+    m = Module("tiny")
+    for p in ("clk", "se", "si", "d"):
+        m.add_input(p)
+    for p in ("so", "q"):
+        m.add_output(p)
+    m.add_instance("ff0", "SDFF", D="d", SI="si", SE="se", CK="clk", Q="n0")
+    m.add_instance("ff1", "SDFF", D="n0", SI="n0", SE="se", CK="clk", Q="n1")
+    m.add_instance("u_so", "BUF", A="n1", Y="so")
+    m.add_instance("u_q", "BUF", A="n1", Y="q")
+    return m
+
+
+def make_tiny_core() -> Core:
+    ports = [
+        Port("clk", Direction.IN, SignalKind.CLOCK),
+        Port("se", Direction.IN, SignalKind.SCAN_ENABLE),
+        Port("si", Direction.IN, SignalKind.SCAN_IN),
+        Port("so", Direction.OUT, SignalKind.SCAN_OUT),
+        Port("d", Direction.IN),
+        Port("q", Direction.OUT),
+    ]
+    return Core(
+        "tiny",
+        core_type=CoreType.HARD,
+        ports=ports,
+        scan_chains=[ScanChain("c0", 2, "si", "so")],
+        tests=[scan_test(3)],
+    )
+
+
+@pytest.fixture
+def wrapped_tiny():
+    netlist = Netlist()
+    netlist.add(make_tiny_core_module())
+    gen = generate_wrapper(make_tiny_core(), netlist, width=1)
+    tb = Module("tb")
+    for p in ("ck", "wsi", "selectwir", "shiftwr", "capturewr", "updatewr",
+              "parallel_sel", "wpi0", "se", "d"):
+        tb.add_input(p)
+    for p in ("wso", "wpo0", "q"):
+        tb.add_output(p)
+    tb.add_instance(
+        "u_wrap", "tiny_wrapper",
+        wsi="wsi", wrck="ck", selectwir="selectwir", shiftwr="shiftwr",
+        capturewr="capturewr", updatewr="updatewr", parallel_sel="parallel_sel",
+        wpi0="wpi0", wpo0="wpo0", wso="wso",
+        clk="ck", se="se", d="d", q="q",
+    )
+    netlist.add(tb)
+    netlist.top_name = "tb"
+    flat = flatten(netlist)
+    sim = Simulator(flat)
+    sim.reset_state(LOW)
+    sim.set_inputs({p: LOW for p in tb.input_ports})
+    return gen, sim
+
+
+def load_instruction(sim, instruction):
+    sim.set_inputs({"selectwir": HIGH, "shiftwr": HIGH})
+    for bit in wir_shift_sequence(instruction):
+        sim.poke("wsi", bit)
+        sim.clock("ck")
+    sim.set_inputs({"shiftwr": LOW, "updatewr": HIGH})
+    sim.evaluate()
+    sim.set_inputs({"updatewr": LOW, "selectwir": LOW})
+    sim.evaluate()
+
+
+class TestGeneratedWrapper:
+    def test_module_validates(self, wrapped_tiny):
+        gen, _ = wrapped_tiny
+        # the core is a known module, so full validation is possible
+        assert gen.module.name == "tiny_wrapper"
+
+    def test_wbc_count(self, wrapped_tiny):
+        gen, _ = wrapped_tiny
+        assert gen.wbc_count == 2  # one input bit (d), one output bit (q)
+
+    def test_serial_shift_path_length(self, wrapped_tiny):
+        """INTEST_SCAN: wsi -> in-WBC -> ff0 -> ff1 -> out-WBC -> wso is a
+        4-flop path, exactly plan.scan_in_depth + plan's output cell."""
+        gen, sim = wrapped_tiny
+        load_instruction(sim, WrapperInstruction.INTEST_SCAN)
+        sim.set_inputs({"se": HIGH, "shiftwr": HIGH})
+        stimulus = [1, 0, 1, 1, 0, 0, 0, 0, 0]
+        observed = []
+        for bit in stimulus:
+            sim.poke("wsi", bit)
+            sim.evaluate()
+            observed.append(sim.get("wso"))
+            sim.clock("ck")
+        depth = 4
+        assert observed[depth:] == stimulus[: len(stimulus) - depth]
+
+    def test_bypass_is_single_flop(self, wrapped_tiny):
+        gen, sim = wrapped_tiny
+        load_instruction(sim, WrapperInstruction.BYPASS)
+        sim.set_inputs({"shiftwr": HIGH})
+        stimulus = [1, 0, 1, 0]
+        observed = []
+        for bit in stimulus:
+            sim.poke("wsi", bit)
+            sim.evaluate()
+            observed.append(sim.get("wso"))
+            sim.clock("ck")
+        assert observed[1:] == stimulus[:-1]
+
+    def test_functional_mode_transparent(self, wrapped_tiny):
+        gen, sim = wrapped_tiny
+        load_instruction(sim, WrapperInstruction.FUNCTIONAL)
+        sim.set_inputs({"d": HIGH, "se": LOW})
+        sim.clock("ck", cycles=2)  # d propagates through ff0, ff1
+        assert sim.get("q") == HIGH
+
+    def test_capture_takes_core_output(self, wrapped_tiny):
+        gen, sim = wrapped_tiny
+        load_instruction(sim, WrapperInstruction.INTEST_SCAN)
+        # put 1s into the core flops via functional clocking in test mode:
+        # shift pattern [sco, ff1, ff0, wbc_in] = set all ones
+        sim.set_inputs({"se": HIGH, "shiftwr": HIGH, "wsi": HIGH})
+        sim.clock("ck", cycles=4)
+        # capture: output WBC grabs q (=1)
+        sim.set_inputs({"shiftwr": LOW, "capturewr": HIGH, "se": LOW, "wsi": LOW})
+        sim.clock("ck")
+        # shift out: first bit on wso is the out-WBC content
+        sim.set_inputs({"capturewr": LOW, "shiftwr": HIGH, "se": HIGH})
+        sim.evaluate()
+        assert sim.get("wso") == HIGH
+
+    def test_safe_mode_forces_outputs_low(self, wrapped_tiny):
+        gen, sim = wrapped_tiny
+        # drive the core output high functionally first
+        load_instruction(sim, WrapperInstruction.FUNCTIONAL)
+        sim.set_inputs({"d": HIGH})
+        sim.clock("ck", cycles=2)
+        assert sim.get("q") == HIGH
+        load_instruction(sim, WrapperInstruction.SAFE)
+        sim.evaluate()
+        assert sim.get("q") == LOW
+
+    def test_parallel_mode_uses_wpi(self, wrapped_tiny):
+        gen, sim = wrapped_tiny
+        load_instruction(sim, WrapperInstruction.INTEST_PARALLEL)
+        sim.set_inputs({"parallel_sel": HIGH, "se": HIGH, "shiftwr": HIGH, "wpi0": HIGH})
+        sim.clock("ck", cycles=4)
+        sim.evaluate()
+        assert sim.get("wpo0") == HIGH
+
+    def test_wrapper_area_scales_with_cells(self, wrapped_tiny):
+        gen, _ = wrapped_tiny
+        netlist = Netlist()
+        netlist.add(make_tiny_core_module())
+        gen2 = generate_wrapper(make_tiny_core(), netlist, width=1)
+        area = gen2.area(netlist)
+        assert area >= 2 * WBC_AREA + WBY_AREA + WIR_AREA
