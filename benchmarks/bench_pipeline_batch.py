@@ -1,0 +1,77 @@
+"""Batch integration throughput: ``integrate_many`` vs. a serial loop.
+
+The paper integrates one chip at a time ("5 minutes" per chip on 2005
+hardware); a production platform sweeps design spaces.  This benchmark
+pushes a DSC pin-budget sweep through ``Steac.integrate_many`` and
+compares wall clock against the equivalent serial ``integrate()`` loop,
+recording the measured speedup in the pytest-benchmark JSON
+(``--benchmark-json`` → ``extra_info.batch_speedup``).
+"""
+
+from benchmarks.conftest import paper_vs_ours
+from repro.core import Steac, SteacConfig
+from repro.soc.dsc import build_dsc_chip
+
+PIN_SWEEP = (20, 24, 28, 32, 36, 40, 44, 48)
+
+
+def _socs():
+    return [build_dsc_chip(test_pins=pins) for pins in PIN_SWEEP]
+
+
+def _config() -> SteacConfig:
+    # comparison off: benchmark the flow itself, not the strategy race
+    return SteacConfig(compare_strategies=False)
+
+
+def test_batch_vs_serial_loop(benchmark):
+    """integrate_many over the sweep, with the serial loop as the paper-
+    style baseline; results must match the serial loop exactly."""
+    steac = Steac(_config())
+
+    import time
+
+    started = time.perf_counter()
+    serial_results = [steac.integrate(soc) for soc in _socs()]
+    serial_seconds = time.perf_counter() - started
+
+    batch = benchmark.pedantic(
+        lambda: steac.integrate_many(_socs(), workers=4), rounds=3, iterations=1
+    )
+
+    assert batch.ok and len(batch) == len(PIN_SWEEP)
+    # deterministic, order-preserving, and equal to the serial loop
+    assert [i.result.total_test_time for i in batch] == [
+        r.total_test_time for r in serial_results
+    ]
+
+    speedup = serial_seconds / max(batch.elapsed_seconds, 1e-9)
+    benchmark.extra_info["serial_seconds"] = round(serial_seconds, 4)
+    benchmark.extra_info["batch_seconds"] = round(batch.elapsed_seconds, 4)
+    benchmark.extra_info["batch_speedup"] = round(speedup, 3)
+    print()
+    print(batch.render())
+    print()
+    print(
+        paper_vs_ours(
+            "batch integration throughput (8-chip DSC pin sweep)",
+            [
+                ("flow", "one chip at a time", f"{batch.workers} workers"),
+                ("serial loop", f"{serial_seconds:.2f} s", ""),
+                ("integrate_many", "", f"{batch.elapsed_seconds:.2f} s"),
+                ("speedup", "1.0x", f"{speedup:.2f}x"),
+            ],
+        )
+    )
+
+
+def test_batch_isolates_failures(benchmark):
+    """One infeasible chip in the sweep must not sink the batch."""
+    socs = _socs()
+    socs.insert(2, build_dsc_chip(test_pins=6))  # too few pins: infeasible
+    batch = benchmark.pedantic(
+        lambda: Steac(_config()).integrate_many(socs, workers=4), rounds=1, iterations=1
+    )
+    assert not batch.ok
+    assert len(batch.failures) == 1 and batch.failures[0].index == 2
+    assert len(batch.results) == len(PIN_SWEEP)

@@ -1,7 +1,7 @@
 """Shared fixtures and reporting helpers for the benchmark harness.
 
 Every benchmark module reproduces one paper artifact (table, figure, or
-quoted number — see DESIGN.md's experiment index) and *prints* the
+quoted number — see each module's docstring) and *prints* the
 reproduced rows next to the paper's values, so `pytest benchmarks/
 --benchmark-only -s` regenerates the whole evaluation section.
 """

@@ -7,17 +7,34 @@ TAM / test-controller generation, pattern translation) together with
 **BRAINS**, a memory-BIST compiler, and every substrate the paper assumes
 (gate-level netlists, a logic simulator, and a PODEM ATPG).
 
-Quickstart::
+One-call quickstart::
 
     from repro.soc.dsc import build_dsc_chip
     from repro.core import Steac
 
-    soc = build_dsc_chip()
-    result = Steac().integrate(soc)
-    print(result.report())
+    result = Steac().integrate(build_dsc_chip())
+    print(result.report())          # the paper-style console report
+    print(result.to_json())         # machine-readable (schema v1)
 
-See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for the
-paper-vs-measured record.
+Staged quickstart — the Fig.-1 flow as composable stages::
+
+    from repro.core import Pipeline, Steac
+
+    steac = Steac()
+    ctx = steac.context(build_dsc_chip())
+    Pipeline.default().until("schedule").run(ctx)   # stop after scheduling
+    print(ctx.schedule.render())
+
+Batch quickstart — many SOCs, concurrently, errors isolated per SOC::
+
+    socs = [build_dsc_chip(test_pins=p) for p in (24, 28, 36, 48)]
+    batch = Steac().integrate_many(socs, workers=4)
+    print(batch.render())
+
+Scheduling strategies (``session`` / ``nonsession`` / ``serial`` /
+``ilp``) resolve by name through :mod:`repro.sched.registry`.  See
+``ARCHITECTURE.md`` for the pipeline API and the result JSON schema, and
+``python -m repro --help`` for the command shell.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"

@@ -1,30 +1,87 @@
-"""Command-line front end: ``python -m repro <command>``.
+"""Command-line front end: ``python -m repro <command>`` (or the
+``repro`` console script).
 
 BRAINS "can generate the BIST circuit using the GUI or command shell";
 this is the command shell for the whole reproduction:
 
 * ``python -m repro dsc``            — integrate the DSC chip, print the report
+* ``python -m repro dsc --json``     — machine-readable integration result
 * ``python -m repro dsc --verilog``  — also dump the DFT-inserted Verilog
+* ``python -m repro batch``          — integrate many SOCs concurrently
 * ``python -m repro march``          — list the March algorithm library
 * ``python -m repro coverage``       — March fault-coverage table
 * ``python -m repro d695 [pins]``    — schedule the ITC'02 d695 benchmark
+
+Scheduling strategies everywhere resolve by name through
+:mod:`repro.sched.registry` — ``--strategy ilp`` runs the exact MILP.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+
+
+def _strategy_choices() -> list[str]:
+    from repro.sched.registry import available_strategies
+
+    return available_strategies()
+
+
+def _soc_builders() -> dict:
+    from repro.soc.dsc import build_dsc_chip
+    from repro.soc.itc02 import d695_soc
+
+    return {"dsc": build_dsc_chip, "d695": d695_soc}
+
+
+def _build_soc(spec: str):
+    """Materialize a batch SOC spec: ``name[:pins[:power]]``.
+
+    Names: ``dsc`` (the paper's case-study chip), ``d695`` (ITC'02).
+    Examples: ``dsc``, ``dsc:24``, ``dsc:28:6.5``, ``d695:48``.
+    """
+    builders = _soc_builders()
+    parts = spec.split(":")
+    name, rest = parts[0], parts[1:]
+    if name not in builders:
+        raise SystemExit(
+            f"unknown SOC {name!r} in spec {spec!r} "
+            f"(use {' or '.join(sorted(builders))})"
+        )
+    try:
+        kwargs = {}
+        if len(rest) >= 1:
+            kwargs["test_pins"] = int(rest[0])
+        if len(rest) >= 2:
+            kwargs["power_budget"] = float(rest[1])
+        if len(rest) >= 3:
+            raise ValueError("too many fields")
+    except ValueError as exc:
+        raise SystemExit(
+            f"bad SOC spec {spec!r}: {exc} (format: name[:pins[:power]], "
+            "pins an int, power a float)"
+        ) from None
+    return builders[name](**kwargs)
 
 
 def _cmd_dsc(args: argparse.Namespace) -> int:
     from repro.core import Steac, SteacConfig
     from repro.soc.dsc import build_dsc_chip
 
-    config = SteacConfig(bist_power_headroom=args.headroom)
+    if args.json and args.verilog == "-":
+        raise SystemExit(
+            "--json keeps stdout machine-readable; give --verilog a FILE"
+        )
+    config = SteacConfig(bist_power_headroom=args.headroom, strategy=args.strategy)
     result = Steac(config).integrate(
         build_dsc_chip(test_pins=args.pins, power_budget=args.power)
     )
-    print(result.report())
+    if args.json:
+        print(result.to_json())
+    else:
+        print(result.report())
     if args.verilog:
         from repro.netlist import netlist_to_verilog
 
@@ -34,8 +91,23 @@ def _cmd_dsc(args: argparse.Namespace) -> int:
         else:
             with open(args.verilog, "w") as handle:
                 handle.write(text)
-            print(f"\nwrote {len(text.splitlines()):,} lines to {args.verilog}")
+            if not args.json:
+                print(f"\nwrote {len(text.splitlines()):,} lines to {args.verilog}")
     return 0
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from repro.core import Steac, SteacConfig
+
+    specs = args.socs or ["dsc:24", "dsc:28", "dsc:36", "dsc:48"]
+    socs = [_build_soc(spec) for spec in specs]
+    config = SteacConfig(strategy=args.strategy, compare_strategies=False)
+    batch = Steac(config).integrate_many(socs, workers=args.workers)
+    if args.json:
+        print(batch.to_json())
+    else:
+        print(batch.render())
+    return 0 if batch.ok else 1
 
 
 def _cmd_march(args: argparse.Namespace) -> int:
@@ -62,16 +134,17 @@ def _cmd_coverage(args: argparse.Namespace) -> int:
 
 
 def _cmd_d695(args: argparse.Namespace) -> int:
-    from repro.sched import schedule_sessions, tasks_from_soc
+    from repro.sched import resolve_schedule, tasks_from_soc
     from repro.soc.itc02 import d695_soc
 
     soc = d695_soc(test_pins=args.pins)
-    result = schedule_sessions(soc, tasks_from_soc(soc))
+    result = resolve_schedule(args.strategy, soc, tasks_from_soc(soc))
     print(result.render())
     return 0
 
 
 def main(argv: list[str] | None = None) -> int:
+    strategies = _strategy_choices()
     parser = argparse.ArgumentParser(
         prog="repro",
         description="STEAC SOC test integration platform (Wu, DATE 2005 reproduction)",
@@ -81,11 +154,29 @@ def main(argv: list[str] | None = None) -> int:
     p_dsc = sub.add_parser("dsc", help="integrate the DSC case-study chip")
     p_dsc.add_argument("--pins", type=int, default=28, help="tester pin budget")
     p_dsc.add_argument("--power", type=float, default=8.0, help="power budget")
+    p_dsc.add_argument("--strategy", choices=strategies, default="session",
+                       help="scheduling strategy (registry name)")
     p_dsc.add_argument("--headroom", action="store_true",
                        help="enable BIST power-headroom co-optimization")
+    p_dsc.add_argument("--json", action="store_true",
+                       help="emit the machine-readable integration result")
     p_dsc.add_argument("--verilog", metavar="FILE", nargs="?", const="-",
                        help="dump DFT-inserted Verilog (to FILE or stdout)")
     p_dsc.set_defaults(func=_cmd_dsc)
+
+    p_batch = sub.add_parser(
+        "batch", help="integrate many SOCs concurrently (specs: name[:pins[:power]])"
+    )
+    p_batch.add_argument("socs", nargs="*", metavar="SPEC",
+                         help="SOC specs, e.g. dsc:24 dsc:28 d695:48 "
+                              "(default: a DSC pin-budget sweep)")
+    p_batch.add_argument("--workers", type=int, default=None,
+                         help="thread count (default: one per SOC, capped at CPUs)")
+    p_batch.add_argument("--strategy", choices=strategies, default="session",
+                         help="scheduling strategy (registry name)")
+    p_batch.add_argument("--json", action="store_true",
+                         help="emit the machine-readable batch result")
+    p_batch.set_defaults(func=_cmd_batch)
 
     p_march = sub.add_parser("march", help="list the March algorithm library")
     p_march.add_argument("--retention", action="store_true",
@@ -99,6 +190,8 @@ def main(argv: list[str] | None = None) -> int:
 
     p_d695 = sub.add_parser("d695", help="schedule the ITC'02 d695 benchmark")
     p_d695.add_argument("--pins", type=int, default=48, help="tester pin budget")
+    p_d695.add_argument("--strategy", choices=strategies, default="session",
+                        help="scheduling strategy (registry name)")
     p_d695.set_defaults(func=_cmd_d695)
 
     args = parser.parse_args(argv)

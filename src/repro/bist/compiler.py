@@ -106,6 +106,16 @@ class BistEngine:
         """Schedulable group tasks for the Core Test Scheduler (Fig. 4)."""
         return self.plan.to_tasks()
 
+    def to_dict(self) -> dict:
+        """JSON-native summary for ``IntegrationResult.to_dict()``."""
+        return {
+            "march": self.march.name,
+            "memory_count": self.plan.memory_count,
+            "group_count": len(self.plan.groups),
+            "total_cycles": self.plan.total_cycles,
+            "area_gates": round(self.total_area, 1),
+        }
+
     # -- behavioral execution ---------------------------------------------------
 
     def run(

@@ -1,0 +1,162 @@
+"""Batch integration: many SOCs through the platform at once.
+
+The paper integrates one chip in "5 minutes"; a production platform
+integrates design-space sweeps (pin budgets, power budgets, floorplans)
+and whole chip families.  :func:`integrate_many` fans the Fig.-1 flow
+out over a thread pool with
+
+* **deterministic ordering** — results come back in input order no
+  matter which worker finishes first, and
+* **per-SOC error isolation** — one infeasible or malformed chip yields
+  a failed :class:`BatchItem`; the rest of the batch completes.
+
+Threads (not processes) because scan-task ``time_fn`` closures are not
+picklable.  On GIL builds the speedup for this pure-Python flow is
+modest (free-threaded builds overlap fully);
+``benchmarks/bench_pipeline_batch.py`` records the measured number
+either way.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.core.results import BATCH_SCHEMA, IntegrationResult
+from repro.soc.soc import Soc
+from repro.util import Table, format_cycles
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.steac import SteacConfig
+
+
+@dataclass
+class BatchItem:
+    """The outcome for one SOC of a batch: a result or an error string."""
+
+    index: int
+    soc_name: str
+    result: Optional[IntegrationResult] = None
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.result is not None
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "soc_name": self.soc_name,
+            "ok": self.ok,
+            "error": self.error,
+            "result": self.result.to_dict() if self.result else None,
+        }
+
+
+@dataclass
+class BatchResult:
+    """All outcomes of one :func:`integrate_many` run, in input order."""
+
+    items: list[BatchItem] = field(default_factory=list)
+    workers: int = 1
+    elapsed_seconds: float = 0.0
+
+    def __iter__(self):
+        return iter(self.items)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    @property
+    def ok(self) -> bool:
+        return all(item.ok for item in self.items)
+
+    @property
+    def results(self) -> list[IntegrationResult]:
+        """Successful results only, still in input order."""
+        return [item.result for item in self.items if item.result is not None]
+
+    @property
+    def failures(self) -> list[BatchItem]:
+        return [item for item in self.items if not item.ok]
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": BATCH_SCHEMA,
+            "workers": self.workers,
+            "elapsed_seconds": round(self.elapsed_seconds, 6),
+            "ok": self.ok,
+            "items": [item.to_dict() for item in self.items],
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def render(self) -> str:
+        """One-line-per-SOC batch summary table."""
+        table = Table(
+            ["#", "SOC", "Status", "Total test time", "Sessions"],
+            title=f"batch integration: {len(self.items)} SOCs, "
+            f"{self.workers} workers, {self.elapsed_seconds:.2f} s",
+        )
+        for item in self.items:
+            if item.result is not None:
+                table.add_row([
+                    item.index,
+                    item.soc_name,
+                    "ok",
+                    format_cycles(item.result.total_test_time),
+                    item.result.schedule.session_count,
+                ])
+            else:
+                table.add_row([item.index, item.soc_name, f"FAILED: {item.error}", "-", "-"])
+        return table.render()
+
+
+def integrate_many(
+    socs: Sequence[Soc],
+    config: "SteacConfig | None" = None,
+    workers: Optional[int] = None,
+) -> BatchResult:
+    """Integrate every SOC in ``socs`` concurrently.
+
+    Args:
+        socs: the chips; each runs the full default flow independently.
+        config: shared platform configuration (read-only across workers).
+        workers: thread count; default ``min(len(socs), cpu_count)``.
+
+    Returns:
+        A :class:`BatchResult` whose items are in ``socs`` order; a SOC
+        that raises during integration becomes a failed item and does
+        not disturb its neighbours.
+    """
+    from repro.core.steac import Steac
+
+    socs = list(socs)
+    if workers is None:
+        workers = min(len(socs), os.cpu_count() or 1) or 1
+    workers = max(1, workers)
+    steac = Steac(config)
+
+    def one(pair: tuple[int, Soc]) -> BatchItem:
+        index, soc = pair
+        name = getattr(soc, "name", f"soc[{index}]")
+        try:
+            return BatchItem(index=index, soc_name=name, result=steac.integrate(soc))
+        except Exception as exc:  # per-SOC isolation: record, don't raise
+            return BatchItem(index=index, soc_name=name, error=f"{type(exc).__name__}: {exc}")
+
+    started = time.perf_counter()
+    if workers == 1:
+        items = [one(pair) for pair in enumerate(socs)]
+    else:
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            # executor.map preserves input order regardless of completion order
+            items = list(pool.map(one, enumerate(socs)))
+    return BatchResult(
+        items=items, workers=workers, elapsed_seconds=time.perf_counter() - started
+    )

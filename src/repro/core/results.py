@@ -1,0 +1,215 @@
+"""Integration results: the console report and machine-readable output.
+
+:class:`IntegrationResult` is everything STEAC produces for one SOC.
+Besides the paper-style console ``report()``, it serializes to a stable,
+JSON-native dict (``to_dict()`` / ``to_json()``) so benchmark harnesses
+and CI can consume integration outcomes without scraping ASCII tables —
+the reproducibility posture argued by SAIBERSOC (Rosso et al., 2020) and
+"Testing SOAR Tools in Use" (Bridges et al., 2022).
+
+Schema (``schema`` = ``"repro/integration-result/v1"``; documented in
+``ARCHITECTURE.md``)::
+
+    soc            {name, cores, memories, test_pins, total_gates,
+                    memory_bits, power_budget}
+    schedule       {strategy, total_time, session_count, pin_budget, notes,
+                    sessions: [{index, length, power, control_pins, data_pins,
+                                tests: [{name, core, kind, width, start, finish}]}]}
+    comparison     {strategy: total_time | null}
+    bist           null | {march, memory_count, group_count, total_cycles,
+                           area_gates}
+    wrappers       {core: {wbc_count, area_gates}}
+    tam            {width, slots: [{session, core, task, wires}]}
+    dft_area       {chip_gates, overhead_percent, items: [{name, gates}]}
+    programs       {name: {cycles, pins}}
+    runtime_seconds, stage_seconds
+
+All values are JSON types, so ``json.loads(r.to_json()) == r.to_dict()``
+round-trips exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.bist.compiler import BistEngine
+from repro.netlist import AreaReport, Module, Netlist
+from repro.patterns.ate import AteProgram
+from repro.sched.result import ScheduleResult
+from repro.soc.soc import Soc
+from repro.tam.bus import TamBus
+from repro.util import Table, format_cycles
+from repro.wrapper.generator import GeneratedWrapper
+
+RESULT_SCHEMA = "repro/integration-result/v1"
+BATCH_SCHEMA = "repro/batch-result/v1"
+
+
+@dataclass
+class IntegrationResult:
+    """Everything STEAC produces for one SOC."""
+
+    soc: Soc
+    schedule: ScheduleResult
+    comparison: dict[str, Optional[int]]
+    bist_engine: Optional[BistEngine]
+    wrappers: dict[str, GeneratedWrapper]
+    tam_bus: TamBus
+    netlist: Netlist
+    controller_module: Module
+    tam_module: Module
+    programs: dict[str, AteProgram] = field(default_factory=dict)
+    runtime_seconds: float = 0.0
+    stage_seconds: dict[str, float] = field(default_factory=dict)
+
+    @classmethod
+    def from_context(cls, ctx, runtime_seconds: float = 0.0) -> "IntegrationResult":
+        """Assemble a result from a fully-run :class:`FlowContext`."""
+        return cls(
+            soc=ctx.soc,
+            schedule=ctx.schedule,
+            comparison=ctx.comparison,
+            bist_engine=ctx.bist_engine,
+            wrappers=ctx.wrappers,
+            tam_bus=ctx.tam_bus,
+            netlist=ctx.netlist,
+            controller_module=ctx.controller_module,
+            tam_module=ctx.tam_module,
+            programs=ctx.programs,
+            runtime_seconds=runtime_seconds,
+            stage_seconds=dict(ctx.stage_seconds),
+        )
+
+    @property
+    def total_test_time(self) -> int:
+        return self.schedule.total_time
+
+    @property
+    def dft_area_report(self) -> AreaReport:
+        """Controller + TAM mux overhead (the paper's 0.3% figure); the
+        wrapper cells are reported separately, as the paper does."""
+        report = AreaReport(chip_gates=self.soc.total_gates)
+        report.add_module("Test Controller", self.controller_module, self.netlist,
+                          note="paper: ~371 gates")
+        report.add_module("TAM multiplexer", self.tam_module, self.netlist,
+                          note="paper: ~132 gates")
+        return report
+
+    @property
+    def wrapper_area_total(self) -> float:
+        return sum(w.area(self.netlist) for w in self.wrappers.values())
+
+    # -- machine-readable output ------------------------------------------
+
+    def to_dict(self) -> dict:
+        """The result as a JSON-native dict (schema in the module docstring)."""
+        soc = self.soc
+        area = self.dft_area_report
+        return {
+            "schema": RESULT_SCHEMA,
+            "soc": {
+                "name": soc.name,
+                "cores": len(soc.cores),
+                "memories": len(soc.memories),
+                "test_pins": soc.test_pins,
+                "total_gates": soc.total_gates,
+                "memory_bits": soc.total_memory_bits,
+                "power_budget": soc.power_budget,
+            },
+            "schedule": {
+                "strategy": self.schedule.strategy,
+                "total_time": self.schedule.total_time,
+                "session_count": self.schedule.session_count,
+                "pin_budget": self.schedule.pin_budget,
+                "notes": self.schedule.notes,
+                "sessions": [
+                    {
+                        "index": session.index,
+                        "length": session.length,
+                        "power": session.power,
+                        "control_pins": session.control_pins,
+                        "data_pins": session.data_pins,
+                        "tests": [
+                            {
+                                "name": test.task.name,
+                                "core": test.task.core_name,
+                                "kind": test.task.kind.value,
+                                "width": test.width,
+                                "start": test.start,
+                                "finish": test.finish,
+                            }
+                            for test in session.tests
+                        ],
+                    }
+                    for session in self.schedule.sessions
+                ],
+            },
+            "comparison": dict(self.comparison),
+            "bist": self.bist_engine.to_dict() if self.bist_engine else None,
+            "wrappers": {
+                name: {
+                    "wbc_count": wrapper.wbc_count,
+                    "area_gates": round(wrapper.area(self.netlist), 1),
+                }
+                for name, wrapper in sorted(self.wrappers.items())
+            },
+            "tam": {
+                "width": self.tam_bus.width,
+                "slots": [
+                    {
+                        "session": slot.session,
+                        "core": slot.core_name,
+                        "task": slot.task_name,
+                        "wires": list(slot.wires),
+                    }
+                    for slot in self.tam_bus.slots
+                ],
+            },
+            "dft_area": {
+                "chip_gates": area.chip_gates,
+                "overhead_percent": round(area.overhead_percent, 4),
+                "items": [
+                    {"name": item.name, "gates": round(item.gates, 1)}
+                    for item in area.items
+                ],
+            },
+            "programs": {
+                name: program.to_dict() for name, program in sorted(self.programs.items())
+            },
+            "runtime_seconds": round(self.runtime_seconds, 6),
+            "stage_seconds": {k: round(v, 6) for k, v in self.stage_seconds.items()},
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """``to_dict()`` as JSON text; round-trips through ``json.loads``."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    # -- console report ----------------------------------------------------
+
+    def report(self) -> str:
+        """The STEAC console report."""
+        lines = [self.soc.describe(), ""]
+        lines.append(self.schedule.render())
+        lines.append("")
+        if self.comparison:
+            table = Table(["Strategy", "Total test time"], title="Scheduling comparison")
+            for strategy, total in self.comparison.items():
+                table.add_row(
+                    [strategy, format_cycles(total) if total is not None else "infeasible"]
+                )
+            lines.append(table.render())
+            lines.append("")
+        if self.bist_engine is not None:
+            lines.append(self.bist_engine.plan.render())
+            lines.append("")
+        lines.append(self.dft_area_report.render())
+        lines.append(
+            f"wrapper cells: {sum(w.wbc_count for w in self.wrappers.values())} WBCs, "
+            f"{self.wrapper_area_total:.0f} gates (reported separately, as in the paper)"
+        )
+        lines.append("")
+        lines.append(f"integration runtime: {self.runtime_seconds:.2f} s "
+                     "(paper: 5 minutes on a Sun Blade 1000)")
+        return "\n".join(lines)

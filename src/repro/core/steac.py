@@ -10,38 +10,29 @@ Sun Blade 1000:
     >>> from repro.core import Steac
     >>> result = Steac().integrate(build_dsc_chip())
     >>> print(result.report())                      # doctest: +SKIP
+
+``integrate()`` is a thin wrapper over the staged flow in
+:mod:`repro.core.pipeline` — run partial flows, swap stages, or batch
+many SOCs through :meth:`Steac.integrate_many`.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Sequence
 
-from repro.bist.compiler import BistEngine, Brains, BrainsConfig
 from repro.bist.march import MARCH_C_MINUS, MarchTest
-from repro.controller.generator import make_test_controller
-from repro.netlist import AreaReport, Module, Netlist, PortDir
-from repro.patterns.ate import AteProgram
+from repro.core.batch import BatchResult, integrate_many
+from repro.core.pipeline import FlowContext, Pipeline
+from repro.core.results import IntegrationResult
 from repro.patterns.core_patterns import CorePatternSet
-from repro.patterns.translate import (
-    chip_level_program,
-    translate_core_to_wrapper,
-    wrapper_functional_program,
-    wrapper_scan_program,
-)
-from repro.sched.ioalloc import SharingPolicy, io_sharing_report
-from repro.sched.nonsession import schedule_nonsession
-from repro.sched.rebalance import rebalance_report
+from repro.sched.ioalloc import SharingPolicy
+from repro.sched.registry import resolve_schedule
 from repro.sched.result import ScheduleResult
-from repro.sched.session import InfeasibleScheduleError, schedule_serial, schedule_sessions
-from repro.sched.tasks import tasks_from_soc
 from repro.soc.soc import Soc
-from repro.stil.semantics import core_from_stil
-from repro.tam.bus import TamBus, build_tam
-from repro.tam.mux import make_tam_mux
-from repro.util import Table, format_cycles
-from repro.wrapper.generator import GeneratedWrapper, generate_wrapper
+
+__all__ = ["IntegrationResult", "Steac", "SteacConfig"]
 
 
 @dataclass
@@ -52,14 +43,18 @@ class SteacConfig:
         march: March algorithm BRAINS embeds for the memories.
         policy: test-IO sharing policy for session scheduling.
         n_sessions: fixed session count (None = search).
-        strategy: primary scheduling strategy ("session", "nonsession",
-            "serial").
+        strategy: primary scheduling strategy, resolved by name through
+            :mod:`repro.sched.registry` ("session", "nonsession",
+            "serial", "ilp", or anything registered by a plugin).
         bist_power_headroom: reserve power for the heaviest logic test
             when grouping memories, so BIST groups can share sessions
             with core tests.  Off by default — this is an optimization
             *beyond* the paper (see the ablation benchmark); the paper's
             flow groups memories against the full chip budget.
         compare_strategies: also run the other schedulers for the report.
+        compare_with: strategy names the comparison covers; None = the
+            fast built-in trio (session, nonsession, serial).  Add
+            "ilp" here to race the exact MILP too.
     """
 
     march: MarchTest = MARCH_C_MINUS
@@ -68,68 +63,7 @@ class SteacConfig:
     strategy: str = "session"
     bist_power_headroom: bool = False
     compare_strategies: bool = True
-
-
-@dataclass
-class IntegrationResult:
-    """Everything STEAC produces for one SOC."""
-
-    soc: Soc
-    schedule: ScheduleResult
-    comparison: dict[str, Optional[int]]
-    bist_engine: Optional[BistEngine]
-    wrappers: dict[str, GeneratedWrapper]
-    tam_bus: TamBus
-    netlist: Netlist
-    controller_module: Module
-    tam_module: Module
-    programs: dict[str, AteProgram] = field(default_factory=dict)
-    runtime_seconds: float = 0.0
-
-    @property
-    def total_test_time(self) -> int:
-        return self.schedule.total_time
-
-    @property
-    def dft_area_report(self) -> AreaReport:
-        """Controller + TAM mux overhead (the paper's 0.3% figure); the
-        wrapper cells are reported separately, as the paper does."""
-        report = AreaReport(chip_gates=self.soc.total_gates)
-        report.add_module("Test Controller", self.controller_module, self.netlist,
-                          note="paper: ~371 gates")
-        report.add_module("TAM multiplexer", self.tam_module, self.netlist,
-                          note="paper: ~132 gates")
-        return report
-
-    @property
-    def wrapper_area_total(self) -> float:
-        return sum(w.area(self.netlist) for w in self.wrappers.values())
-
-    def report(self) -> str:
-        """The STEAC console report."""
-        lines = [self.soc.describe(), ""]
-        lines.append(self.schedule.render())
-        lines.append("")
-        if self.comparison:
-            table = Table(["Strategy", "Total test time"], title="Scheduling comparison")
-            for strategy, total in self.comparison.items():
-                table.add_row(
-                    [strategy, format_cycles(total) if total is not None else "infeasible"]
-                )
-            lines.append(table.render())
-            lines.append("")
-        if self.bist_engine is not None:
-            lines.append(self.bist_engine.plan.render())
-            lines.append("")
-        lines.append(self.dft_area_report.render())
-        lines.append(
-            f"wrapper cells: {sum(w.wbc_count for w in self.wrappers.values())} WBCs, "
-            f"{self.wrapper_area_total:.0f} gates (reported separately, as in the paper)"
-        )
-        lines.append("")
-        lines.append(f"integration runtime: {self.runtime_seconds:.2f} s "
-                     "(paper: 5 minutes on a Sun Blade 1000)")
-        return "\n".join(lines)
+    compare_with: Optional[tuple[str, ...]] = None
 
 
 class Steac:
@@ -138,256 +72,64 @@ class Steac:
     def __init__(self, config: SteacConfig | None = None):
         self.config = config or SteacConfig()
 
+    def context(
+        self,
+        soc: Soc,
+        stil_texts: dict[str, str] | None = None,
+        pattern_data: dict[str, CorePatternSet] | None = None,
+    ) -> FlowContext:
+        """A fresh :class:`FlowContext` for this platform's configuration
+        — the entry point for staged / partial flows."""
+        return FlowContext(
+            soc=soc,
+            config=self.config,
+            stil_texts=dict(stil_texts or {}),
+            pattern_data=dict(pattern_data or {}),
+        )
+
     def integrate(
         self,
         soc: Soc,
         stil_texts: dict[str, str] | None = None,
         pattern_data: dict[str, CorePatternSet] | None = None,
+        pipeline: Pipeline | None = None,
     ) -> IntegrationResult:
         """Run the full Fig.-1 flow on ``soc``.
 
         Args:
-            soc: the chip model (cores may be replaced by STIL input).
+            soc: the chip model (never mutated; STIL input operates on a
+                working copy).
             stil_texts: optional core-name → STIL text; parsed cores
                 replace/extend the SOC's core list, and any vectors they
                 carry are translated at the end.
             pattern_data: optional explicit core-name → patterns (e.g.
                 straight from :mod:`repro.atpg`).
+            pipeline: optional custom stage list; default is the five
+                Fig.-1 stages from :func:`repro.core.pipeline.default_stages`.
         """
         started = time.perf_counter()
-        config = self.config
-        pattern_data = dict(pattern_data or {})
-
-        # -- 1. STIL parser ------------------------------------------------
-        if stil_texts:
-            for name, text in stil_texts.items():
-                extracted = core_from_stil(text)
-                replaced = False
-                for i, core in enumerate(soc.cores):
-                    if core.name == extracted.core.name:
-                        soc.cores[i] = extracted.core
-                        replaced = True
-                        break
-                if not replaced:
-                    soc.add_core(extracted.core)
-                if extracted.patterns.scan_vectors or extracted.patterns.functional_vectors:
-                    pattern_data.setdefault(extracted.core.name, extracted.patterns)
-
-        # -- 2. BRAINS (Fig. 4) ----------------------------------------------
-        bist_engine: Optional[BistEngine] = None
-        tasks = tasks_from_soc(soc)
-        if soc.memories:
-            bist_budget = soc.power_budget
-            if config.bist_power_headroom and soc.power_budget > 0 and tasks:
-                bist_budget = max(
-                    1e-9, soc.power_budget - max(t.power for t in tasks)
-                )
-            bist_engine = Brains().compile(
-                soc.memories,
-                BrainsConfig(march=config.march, power_budget=bist_budget),
-            )
-            tasks = tasks + bist_engine.to_tasks()
-
-        # -- 3. Core Test Scheduler ---------------------------------------------
-        schedule = self._schedule(soc, tasks, config.strategy)
-        comparison: dict[str, Optional[int]] = {}
-        if config.compare_strategies:
-            for strategy in ("session", "nonsession", "serial"):
-                if strategy == config.strategy:
-                    comparison[strategy] = schedule.total_time
-                    continue
-                try:
-                    comparison[strategy] = self._schedule(soc, tasks, strategy).total_time
-                except InfeasibleScheduleError:
-                    comparison[strategy] = None
-
-        # -- 4. Test insertion -------------------------------------------------------
-        netlist = Netlist()
-        widths: dict[str, int] = {}
-        for session in schedule.sessions:
-            for test in session.tests:
-                if test.task.is_scan:
-                    widths[test.task.core_name] = max(
-                        widths.get(test.task.core_name, 1), test.width
-                    )
-        wrappers: dict[str, GeneratedWrapper] = {}
-        for core in soc.wrapped_cores:
-            wrappers[core.name] = generate_wrapper(
-                core, netlist, width=widths.get(core.name, 1)
-            )
-        tam_bus = build_tam(schedule)
-        tam_module = make_tam_mux(tam_bus)
-        netlist.add(tam_module)
-        controller_module = make_test_controller(schedule)
-        netlist.add(controller_module)
-        top = self._build_top(soc, netlist, wrappers, tam_bus, tam_module, controller_module)
-        netlist.top_name = top.name
-
-        # -- 5. Pattern translator --------------------------------------------------
-        programs: dict[str, AteProgram] = {}
-        for core_name, patterns in pattern_data.items():
-            core = soc.core(core_name)
-            wrapper = wrappers.get(core_name)
-            if wrapper is None:
-                continue
-            if patterns.scan_vectors:
-                wp = translate_core_to_wrapper(core, patterns, wrapper.plan)
-                program = wrapper_scan_program(core, wp)
-                task_name = next(
-                    (f"{core_name}.{t.name}" for t in core.tests if t.kind.value == "scan"),
-                    f"{core_name}.scan",
-                )
-                try:
-                    slot = tam_bus.slot_for_task(task_name)
-                    program = chip_level_program(program, slot)
-                except KeyError:
-                    pass
-                programs[f"{core_name}.scan"] = program
-            if patterns.functional_vectors:
-                programs[f"{core_name}.func"] = wrapper_functional_program(core, patterns)
-
-        elapsed = time.perf_counter() - started
-        return IntegrationResult(
-            soc=soc,
-            schedule=schedule,
-            comparison=comparison,
-            bist_engine=bist_engine,
-            wrappers=wrappers,
-            tam_bus=tam_bus,
-            netlist=netlist,
-            controller_module=controller_module,
-            tam_module=tam_module,
-            programs=programs,
-            runtime_seconds=elapsed,
+        ctx = self.context(soc, stil_texts, pattern_data)
+        (pipeline or Pipeline.default()).run(ctx)
+        return IntegrationResult.from_context(
+            ctx, runtime_seconds=time.perf_counter() - started
         )
 
-    def _schedule(self, soc: Soc, tasks, strategy: str) -> ScheduleResult:
-        if strategy == "session":
-            return schedule_sessions(
-                soc, tasks, n_sessions=self.config.n_sessions, policy=self.config.policy
-            )
-        if strategy == "nonsession":
-            return schedule_nonsession(soc, tasks)
-        if strategy == "serial":
-            return schedule_serial(soc, tasks, policy=self.config.policy)
-        raise ValueError(f"unknown scheduling strategy {strategy!r}")
-
-    def _build_top(
+    def integrate_many(
         self,
-        soc: Soc,
-        netlist: Netlist,
-        wrappers: dict[str, GeneratedWrapper],
-        tam_bus: TamBus,
-        tam_module: Module,
-        controller_module: Module,
-    ) -> Module:
-        """Stitch the DFT-inserted chip top: wrappers (cores inside),
-        serial-chained WSI/WSO, TAM pins, controller hookup."""
-        top = Module(f"{soc.name}_test_top")
-        for pin in ("tck", "trstn", "tc_start", "tc_next", "tc_config_done",
-                    "shiftwr", "capturewr", "updatewr", "wsi", "parallel_sel"):
-            top.add_input(pin)
-        top.add_output("wso")
-        top.add_output("tc_done")
-        for w in range(tam_bus.width):
-            top.add_input(f"tam_in{w}")
-            top.add_output(f"tam_out{w}")
+        socs: Sequence[Soc],
+        workers: Optional[int] = None,
+    ) -> BatchResult:
+        """Integrate many SOCs concurrently under this configuration.
 
-        ctrl_conns = {
-            "tck": "tck", "trstn": "trstn", "start": "tc_start",
-            "next_session": "tc_next", "config_done": "tc_config_done",
-            "shiftwr": "shiftwr", "capturewr": "capturewr", "updatewr": "updatewr",
-            "selectwir": "n_selectwir", "shift_bcast": "n_shift",
-            "capture_bcast": "n_capture", "update_bcast": "n_update",
-            "done": "tc_done",
-        }
-        for port in controller_module.ports:
-            if port.name.startswith("te_"):
-                ctrl_conns[port.name] = f"n_{port.name}"
-            elif port.name.startswith("session_sel"):
-                ctrl_conns[port.name] = f"n_{port.name}"
-        top.add_instance("u_ctrl", controller_module.name, **ctrl_conns)
+        Results come back in input order with per-SOC error isolation;
+        see :func:`repro.core.batch.integrate_many`.
+        """
+        return integrate_many(socs, config=self.config, workers=workers)
 
-        # shared control pins (the session-sharing IO model of E3):
-        # one pin per clock domain, one shared SE, one shared reset;
-        # TE/test signals come from the controller's te_<core> outputs
-        top.add_input("se_shared")
-        top.add_input("rst_shared")
-        clock_pins: dict[str, str] = {}
-        serial_prev = "wsi"
-        mux_conns: dict[str, str] = {}
-        for port in tam_module.ports:
-            if port.name.startswith("sel"):
-                bit = port.name[3:]
-                mux_conns[port.name] = f"n_session_sel{bit}"
-        from repro.soc.ports import SignalKind
-
-        for i, (core_name, gen) in enumerate(sorted(wrappers.items())):
-            wrapper = gen.module
-            core = soc.core(core_name)
-            port_kind = {p.name: p for p in core.ports}
-            conns: dict[str, str] = {}
-            for port in wrapper.ports:
-                if port.name == "wsi":
-                    conns[port.name] = serial_prev
-                elif port.name == "wso":
-                    conns[port.name] = f"n_wso_{core_name}"
-                    serial_prev = f"n_wso_{core_name}"
-                elif port.name == "wrck":
-                    conns[port.name] = "tck"
-                elif port.name == "selectwir":
-                    conns[port.name] = "n_selectwir"
-                elif port.name == "shiftwr":
-                    conns[port.name] = "n_shift"
-                elif port.name == "capturewr":
-                    conns[port.name] = "n_capture"
-                elif port.name == "updatewr":
-                    conns[port.name] = "n_update"
-                elif port.name == "parallel_sel":
-                    conns[port.name] = "parallel_sel"
-                elif port.name.startswith("wpi"):
-                    local = int(port.name[3:])
-                    wire = self._slot_wire(tam_bus, core_name, local)
-                    conns[port.name] = f"tam_in{wire}" if wire is not None else f"n_nc_{core_name}_{port.name}"
-                elif port.name.startswith("wpo"):
-                    pin = f"{core_name}_{port.name}"
-                    conns[port.name] = f"n_{pin}"
-                else:
-                    core_port = port_kind.get(port.name)
-                    kind = core_port.kind if core_port is not None else None
-                    if kind is SignalKind.CLOCK:
-                        domain = core_port.clock_domain or port.name
-                        if domain not in clock_pins:
-                            clock_pins[domain] = top.add_input(f"tclk_{domain}")
-                        conns[port.name] = clock_pins[domain]
-                    elif kind is SignalKind.SCAN_ENABLE:
-                        conns[port.name] = "se_shared"
-                    elif kind is SignalKind.RESET:
-                        conns[port.name] = "rst_shared"
-                    elif kind in (SignalKind.TEST_ENABLE, SignalKind.TEST):
-                        conns[port.name] = f"n_te_{core_name}"
-                    else:
-                        # functional IO: internal glue net (driven by the
-                        # mission-mode interconnect, not modelled here)
-                        conns[port.name] = f"glue_{core_name}_{port.name}"
-            top.add_instance(f"u_wrap_{core_name}", wrapper.name, **conns)
-        # TAM mux inputs: wrapper wpo nets (named by task in the mux)
-        for port in tam_module.ports:
-            if port.direction is PortDir.IN and not port.name.startswith("sel"):
-                # e.g. "USB_usb_scan_wpo0" -> core USB, local wire 0
-                core_name = port.name.split("_", 1)[0]
-                local = port.name.rsplit("wpo", 1)[-1]
-                mux_conns[port.name] = f"n_{core_name}_wpo{local}"
-            elif port.name.startswith("tam_out"):
-                mux_conns[port.name] = port.name
-        top.add_instance("u_tam_mux", tam_module.name, **mux_conns)
-        top.add_instance("u_wso_buf", "BUF", A=serial_prev, Y="wso")
-        netlist.add(top)
-        return top
-
-    @staticmethod
-    def _slot_wire(tam_bus: TamBus, core_name: str, local: int):
-        for slot in tam_bus.slots:
-            if slot.core_name == core_name and local < len(slot.wires):
-                return slot.wires[local]
-        return None
+    def _schedule(self, soc: Soc, tasks, strategy: str) -> ScheduleResult:
+        """Resolve ``strategy`` by name and schedule (kept for callers of
+        the pre-pipeline API)."""
+        return resolve_schedule(
+            strategy, soc, tasks, n_sessions=self.config.n_sessions,
+            policy=self.config.policy,
+        )

@@ -56,6 +56,11 @@ class AteProgram:
             expects.update(cycle.expect)
         return sorted(drives) + sorted(expects - drives)
 
+    def to_dict(self) -> dict:
+        """JSON-native summary (cycle and pin counts, not the vectors —
+        use :meth:`export` for the full tabular program)."""
+        return {"cycles": self.cycle_count, "pins": len(self.pins)}
+
     def add(self, drive=None, expect=None, pulse=(), label="", repeat: int = 1) -> None:
         """Append ``repeat`` identical cycles."""
         for _ in range(repeat):

@@ -1,6 +1,10 @@
 """The Core Test Scheduler: session-based scheduling under test-IO and
 power constraints, the non-session baseline, an exact MILP, and the
-supporting test-time / IO-sharing / rebalancing models."""
+supporting test-time / IO-sharing / rebalancing models.
+
+All strategies resolve by name through :mod:`repro.sched.registry`
+(``session`` / ``nonsession`` / ``serial`` / ``ilp``); use
+:func:`register_scheduler` to plug in new ones."""
 
 from repro.sched.ioalloc import (
     BIST_PORT_PINS,
@@ -11,6 +15,12 @@ from repro.sched.ioalloc import (
 )
 from repro.sched.nonsession import schedule_nonsession
 from repro.sched.power import PowerTimeline, fits_power_budget, session_power
+from repro.sched.registry import (
+    available_strategies,
+    get_scheduler,
+    register_scheduler,
+    resolve_schedule,
+)
 from repro.sched.rebalance import RebalanceAdvice, rebalance_advice, rebalance_report
 from repro.sched.result import ScheduledTest, ScheduleResult, Session, TestTask
 from repro.sched.session import (
@@ -39,6 +49,10 @@ __all__ = [
     "data_pins_available",
     "io_sharing_report",
     "schedule_nonsession",
+    "available_strategies",
+    "get_scheduler",
+    "register_scheduler",
+    "resolve_schedule",
     "PowerTimeline",
     "fits_power_budget",
     "session_power",

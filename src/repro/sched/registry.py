@@ -1,0 +1,158 @@
+"""Scheduler plugin registry: strategies resolve by name.
+
+The Core Test Scheduler ships four strategies — ``session`` (the paper's
+contribution), ``nonsession`` and ``serial`` (the Section-3 baselines),
+and ``ilp`` (the exact MILP used to validate the heuristic).  Each is
+registered here under its name so callers (``SteacConfig.strategy``, the
+CLI ``--strategy`` flag, ``compare_strategies``) pick schedulers by name
+instead of hardcoding a dispatch chain, and so downstream code can plug
+in new strategies without touching the platform:
+
+    >>> from repro.sched.registry import register_scheduler
+    >>> @register_scheduler("greedy2")
+    ... def schedule_greedy2(soc, tasks, *, n_sessions=None, policy=None):
+    ...     ...
+
+Every scheduler shares one calling convention::
+
+    fn(soc, tasks, *, n_sessions=None, policy=None) -> ScheduleResult
+
+``n_sessions``/``policy`` are honoured where the strategy supports them
+and ignored otherwise (the MILP's shared-pin model is fixed to the
+default session-sharing policy, for instance).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Protocol
+
+from repro.sched.ioalloc import SharingPolicy
+from repro.sched.result import ScheduleResult, TestTask
+from repro.soc.soc import Soc
+
+
+class SchedulerFn(Protocol):
+    """The uniform scheduler entry point."""
+
+    def __call__(
+        self,
+        soc: Soc,
+        tasks: list[TestTask],
+        *,
+        n_sessions: Optional[int] = None,
+        policy: Optional[SharingPolicy] = None,
+    ) -> ScheduleResult: ...
+
+
+_REGISTRY: dict[str, SchedulerFn] = {}
+
+#: Default cap on MILP session count — matches the heuristic's
+#: ``max_sessions`` search bound in :func:`repro.sched.session.schedule_sessions`.
+ILP_DEFAULT_MAX_SESSIONS = 8
+
+
+def register_scheduler(name: str) -> Callable[[SchedulerFn], SchedulerFn]:
+    """Decorator: register ``fn`` as the scheduling strategy ``name``.
+
+    Re-registering a name replaces the previous entry (last one wins),
+    so tests and plugins can shadow a built-in.
+    """
+
+    def decorator(fn: SchedulerFn) -> SchedulerFn:
+        _REGISTRY[name] = fn
+        return fn
+
+    return decorator
+
+
+def get_scheduler(name: str) -> SchedulerFn:
+    """Look up a strategy by name.
+
+    Raises:
+        ValueError: unknown name (message lists what is available).
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scheduling strategy {name!r}; "
+            f"available: {', '.join(available_strategies())}"
+        ) from None
+
+
+def available_strategies() -> list[str]:
+    """Registered strategy names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def resolve_schedule(
+    name: str,
+    soc: Soc,
+    tasks: list[TestTask],
+    *,
+    n_sessions: Optional[int] = None,
+    policy: Optional[SharingPolicy] = None,
+) -> ScheduleResult:
+    """Run the named strategy — the one-call front end to the registry."""
+    return get_scheduler(name)(soc, tasks, n_sessions=n_sessions, policy=policy)
+
+
+# -- built-in strategies ---------------------------------------------------
+
+
+@register_scheduler("session")
+def _session(
+    soc: Soc,
+    tasks: list[TestTask],
+    *,
+    n_sessions: Optional[int] = None,
+    policy: Optional[SharingPolicy] = None,
+) -> ScheduleResult:
+    from repro.sched.session import schedule_sessions
+
+    return schedule_sessions(
+        soc, tasks, n_sessions=n_sessions, policy=policy or SharingPolicy()
+    )
+
+
+@register_scheduler("nonsession")
+def _nonsession(
+    soc: Soc,
+    tasks: list[TestTask],
+    *,
+    n_sessions: Optional[int] = None,
+    policy: Optional[SharingPolicy] = None,
+) -> ScheduleResult:
+    from repro.sched.nonsession import schedule_nonsession
+
+    # The session-sharing ``policy`` is deliberately NOT forwarded: the
+    # non-session premise is dedicated control pins for the whole test
+    # (``SharingPolicy.none()``, the scheduler's own default).
+    return schedule_nonsession(soc, tasks)
+
+
+@register_scheduler("serial")
+def _serial(
+    soc: Soc,
+    tasks: list[TestTask],
+    *,
+    n_sessions: Optional[int] = None,
+    policy: Optional[SharingPolicy] = None,
+) -> ScheduleResult:
+    from repro.sched.session import schedule_serial
+
+    return schedule_serial(soc, tasks, policy=policy or SharingPolicy())
+
+
+@register_scheduler("ilp")
+def _ilp(
+    soc: Soc,
+    tasks: list[TestTask],
+    *,
+    n_sessions: Optional[int] = None,
+    policy: Optional[SharingPolicy] = None,
+) -> ScheduleResult:
+    from repro.sched.ilp import schedule_ilp
+
+    cap = n_sessions or min(len(tasks), ILP_DEFAULT_MAX_SESSIONS) or 1
+    return schedule_ilp(soc, tasks, n_sessions=cap)

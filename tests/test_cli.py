@@ -1,5 +1,7 @@
 """Tests for the ``python -m repro`` command shell."""
 
+import json
+
 import pytest
 
 from repro.__main__ import main
@@ -38,6 +40,74 @@ class TestCli:
         assert target.exists()
         assert "endmodule" in target.read_text()
 
+    def test_d695_strategy_flag(self, capsys):
+        assert main(["d695", "--pins", "48", "--strategy", "serial"]) == 0
+        out = capsys.readouterr().out
+        assert "serial schedule" in out
+
+    def test_strategy_help_lists_ilp(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["dsc", "--help"])
+        assert exc.value.code == 0
+        assert "ilp" in capsys.readouterr().out
+
+    def test_unknown_strategy_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["dsc", "--strategy", "magic"])
+
     def test_missing_command_rejected(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestJsonOutput:
+    def test_dsc_json_is_schema_v1(self, capsys):
+        assert main(["dsc", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "repro/integration-result/v1"
+        assert doc["soc"]["name"] == "dsc_controller"
+        assert doc["schedule"]["total_time"] > 0
+        assert doc["schedule"]["sessions"]
+
+    def test_dsc_json_with_verilog_file(self, capsys, tmp_path):
+        """--json stays pure JSON on stdout even when a Verilog file is
+        also written."""
+        target = tmp_path / "dft.v"
+        assert main(["dsc", "--json", "--verilog", str(target)]) == 0
+        doc = json.loads(capsys.readouterr().out)  # would raise on extra prose
+        assert doc["schema"] == "repro/integration-result/v1"
+        assert "endmodule" in target.read_text()
+
+
+class TestBatchCommand:
+    def test_default_sweep(self, capsys):
+        assert main(["batch", "dsc:24", "dsc:28", "d695:48", "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "batch integration: 3 SOCs" in out
+        assert "d695" in out
+
+    def test_batch_json(self, capsys):
+        assert main(["batch", "dsc:24", "dsc:28", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "repro/batch-result/v1"
+        assert doc["ok"] is True
+        assert len(doc["items"]) == 2
+        assert [i["index"] for i in doc["items"]] == [0, 1]
+
+    def test_batch_failure_sets_exit_code(self, capsys):
+        assert main(["batch", "dsc:28", "dsc:6"]) == 1
+        assert "FAILED" in capsys.readouterr().out
+
+    def test_bad_spec_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["batch", "nosuchchip:28"])
+
+    def test_malformed_spec_numbers_rejected(self):
+        for spec in ("dsc:abc", "dsc:24:heavy", "dsc:24:8.0:junk"):
+            with pytest.raises(SystemExit):
+                main(["batch", spec])
+
+    def test_json_refuses_verilog_on_stdout(self):
+        """--json with --verilog in stdout mode would corrupt the JSON."""
+        with pytest.raises(SystemExit):
+            main(["dsc", "--json", "--verilog"])

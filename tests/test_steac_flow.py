@@ -136,6 +136,28 @@ class TestStilDrivenFlow:
                 build_dsc_chip()
             )
 
+    def test_stil_input_does_not_mutate_caller_soc(self):
+        """Regression: step 1 used to replace/add cores on the caller's
+        Soc; STIL digestion must operate on a working copy."""
+        module = build_demo_core_module()
+        atpg = generate_scan_patterns(module, build_demo_core())
+        stil_text = core_to_stil(
+            build_demo_core(patterns=atpg.pattern_count), atpg.patterns
+        )
+
+        soc = Soc("immutable_soc", test_pins=16)
+        before = list(soc.cores)
+        result = Steac().integrate(soc, stil_texts={"demo": stil_text})
+        assert soc.cores == before == []          # caller model untouched
+        assert [c.name for c in result.soc.cores] == ["demo"]  # copy got the core
+
+        # replacement path: a pre-existing core of the same name
+        soc2 = Soc("immutable_soc2", test_pins=16)
+        original = soc2.add_core(build_demo_core(patterns=1))
+        result2 = Steac().integrate(soc2, stil_texts={"demo": stil_text})
+        assert soc2.cores == [original]           # same object, same list
+        assert result2.soc.core("demo") is not original
+
 
 class TestSocWithoutMemories:
     def test_logic_only_integration(self):
