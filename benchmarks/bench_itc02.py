@@ -7,7 +7,6 @@ session heuristic against a MILP lower reference on a reduced instance,
 and times the heuristic at realistic sizes.
 """
 
-import pytest
 
 from repro.sched import (
     InfeasibleScheduleError,

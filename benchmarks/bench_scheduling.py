@@ -11,7 +11,6 @@ with a mid-single-digit-or-larger non-session penalty, at a few million
 total cycles.
 """
 
-import pytest
 
 from benchmarks.conftest import paper_vs_ours
 from repro.bist import MARCH_C_MINUS, plan_bist

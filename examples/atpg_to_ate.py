@@ -14,7 +14,7 @@ Run:  python examples/atpg_to_ate.py
 """
 
 from repro.atpg import generate_scan_patterns
-from repro.netlist import LOW, Module, Netlist, Simulator, flatten, module_to_verilog
+from repro.netlist import LOW, Module, Netlist, Simulator, flatten
 from repro.patterns import replay, translate_core_to_wrapper, wrapper_scan_program
 from repro.soc.demo import build_demo_core, build_demo_core_module
 from repro.stil import core_from_stil, core_to_stil

@@ -12,8 +12,8 @@ Reproduces the published story on the modelled chip:
 Run:  python examples/dsc_case_study.py
 """
 
-from repro.core import Steac, SteacConfig
-from repro.sched import SharingPolicy, control_pins, io_sharing_report, tasks_from_soc
+from repro.core import Steac
+from repro.sched import io_sharing_report, tasks_from_soc
 from repro.sched.rebalance import rebalance_report
 from repro.soc.dsc import build_dsc_chip, table1
 

@@ -11,9 +11,13 @@ this is the command shell for the whole reproduction:
 * ``python -m repro march``          — list the March algorithm library
 * ``python -m repro coverage``       — March fault-coverage table
 * ``python -m repro d695 [pins]``    — schedule the ITC'02 d695 benchmark
+* ``python -m repro repair``         — memory diagnosis, repair, and yield
+* ``python -m repro strategies``     — list every registered strategy name
 
 Scheduling strategies everywhere resolve by name through
-:mod:`repro.sched.registry` — ``--strategy ilp`` runs the exact MILP.
+:mod:`repro.sched.registry` — ``--strategy ilp`` runs the exact MILP —
+and repair allocators through :mod:`repro.repair.registry`; the
+``strategies`` command prints both registries.
 """
 
 from __future__ import annotations
@@ -27,6 +31,12 @@ def _strategy_choices() -> list[str]:
     from repro.sched.registry import available_strategies
 
     return available_strategies()
+
+
+def _allocator_choices() -> list[str]:
+    from repro.repair.registry import available_allocators
+
+    return available_allocators()
 
 
 def _soc_builders() -> dict:
@@ -139,7 +149,138 @@ def _cmd_d695(args: argparse.Namespace) -> int:
 
     soc = d695_soc(test_pins=args.pins)
     result = resolve_schedule(args.strategy, soc, tasks_from_soc(soc))
-    print(result.render())
+    if args.json:
+        print(json.dumps(
+            {"schema": "repro/schedule-result/v1", "soc": soc.name, **result.to_dict()},
+            indent=2, sort_keys=True,
+        ))
+    else:
+        print(result.render())
+    return 0
+
+
+def _cmd_strategies(args: argparse.Namespace) -> int:
+    from repro.repair.registry import available_allocators
+    from repro.sched.registry import available_strategies
+
+    print("scheduling strategies (repro.sched.registry):")
+    for name in available_strategies():
+        print(f"  {name}")
+    print("repair allocators (repro.repair.registry):")
+    for name in available_allocators():
+        print(f"  {name}")
+    return 0
+
+
+def _cmd_repair(args: argparse.Namespace) -> int:
+    """Close the loop for one chip: inject seeded defects into every
+    memory, diagnose with a real March run, allocate spares, and score
+    the design with a Monte-Carlo repair-rate estimate."""
+    import random
+
+    from repro.bist.march import MARCH_C_MINUS
+    from repro.repair import (
+        DEFAULT_REDUNDANCY,
+        Defect,
+        DefectModel,
+        bisr_gates,
+        diagnose_defects,
+        diagnosis_geometry,
+        estimate_repair_rate,
+        resolve_allocation,
+    )
+    from repro.repair.montecarlo import DEFECT_KINDS
+    from repro.soc.memory import RedundancySpec
+    from repro.util import Table
+
+    builders = _soc_builders()
+    soc = builders[args.soc]()
+    spares = RedundancySpec(
+        args.spare_rows if args.spare_rows is not None else DEFAULT_REDUNDANCY.spare_rows,
+        args.spare_cols if args.spare_cols is not None else DEFAULT_REDUNDANCY.spare_cols,
+    )
+    model = DefectModel(defects_per_mbit=args.defect_density)
+    march = MARCH_C_MINUS
+    rng = random.Random(args.seed)
+    memory_docs = []
+    for spec in soc.memories:
+        # a spec's own redundancy wins, here and in the Monte-Carlo below
+        mem_spares = spec.redundancy if spec.redundancy is not None else spares
+        rows, cols = diagnosis_geometry(spec, args.model_rows)
+        # the diagnosis showcase injects a fixed defect count per memory
+        # (the Monte-Carlo below uses the density model instead)
+        defects = [
+            Defect(
+                rng.choices(DEFECT_KINDS, weights=model.kind_weights)[0],
+                rng.randrange(rows),
+                rng.randrange(cols),
+            )
+            for _ in range(args.defects)
+        ]
+        bitmap = diagnose_defects(defects, spec, march, args.model_rows)
+        allocation = resolve_allocation(args.allocator, bitmap, mem_spares)
+        memory_docs.append(
+            {
+                "name": spec.name,
+                "geometry": spec.describe(),
+                "rows": rows,
+                "cols": cols,
+                "spares": {"rows": mem_spares.spare_rows, "cols": mem_spares.spare_cols},
+                "defects_injected": len(defects),
+                "bitmap": bitmap.to_dict(),
+                "allocation": allocation.to_dict(),
+                "bisr_gates": round(bisr_gates(spec, mem_spares), 1),
+            }
+        )
+    rate = estimate_repair_rate(
+        soc.memories,
+        trials=args.trials,
+        seed=args.seed,
+        workers=args.workers or 0,
+        allocator=args.allocator,
+        model=model,
+        default_spares=spares,
+        model_rows=args.model_rows,
+    )
+    if args.json:
+        print(json.dumps(
+            {
+                "schema": "repro/repair-report/v1",
+                "soc": soc.name,
+                "march": march.name,
+                "allocator": args.allocator,
+                "spares": {"rows": spares.spare_rows, "cols": spares.spare_cols},
+                "memories": memory_docs,
+                "monte_carlo": rate.to_dict(),
+            },
+            indent=2, sort_keys=True,
+        ))
+        return 0
+    table = Table(
+        ["Memory", "Geometry", "Defects", "Fails", "Allocation", "BISR gates"],
+        title=f"Diagnosis & repair ({march.name}, {spares.describe()} spares, "
+        f"allocator {args.allocator})",
+    )
+    for doc in memory_docs:
+        alloc = doc["allocation"]
+        verdict = (
+            f"{len(alloc['rows'])}R+{len(alloc['cols'])}C"
+            if alloc["repairable"]
+            else "UNREPAIRABLE"
+        )
+        table.add_row(
+            [
+                doc["name"],
+                doc["geometry"],
+                doc["defects_injected"],
+                doc["bitmap"]["fail_count"],
+                verdict,
+                doc["bisr_gates"],
+            ]
+        )
+    print(table.render())
+    print()
+    print(rate.render())
     return 0
 
 
@@ -192,7 +333,41 @@ def main(argv: list[str] | None = None) -> int:
     p_d695.add_argument("--pins", type=int, default=48, help="tester pin budget")
     p_d695.add_argument("--strategy", choices=strategies, default="session",
                         help="scheduling strategy (registry name)")
+    p_d695.add_argument("--json", action="store_true",
+                        help="emit the machine-readable schedule result")
     p_d695.set_defaults(func=_cmd_d695)
+
+    p_repair = sub.add_parser(
+        "repair", help="memory diagnosis, redundancy allocation, and repair rate"
+    )
+    p_repair.add_argument("--soc", choices=sorted(_soc_builders()), default="dsc",
+                          help="chip to analyze")
+    p_repair.add_argument("--seed", type=int, default=7,
+                          help="defect-injection base seed")
+    p_repair.add_argument("--trials", type=int, default=500,
+                          help="Monte-Carlo chips sampled")
+    p_repair.add_argument("--workers", type=int, default=None,
+                          help="Monte-Carlo process count (default: serial)")
+    p_repair.add_argument("--allocator", choices=_allocator_choices(), default="greedy",
+                          help="repair allocator (registry name)")
+    p_repair.add_argument("--defects", type=int, default=3,
+                          help="defects injected per memory in the diagnosis table")
+    p_repair.add_argument("--defect-density", type=float, default=0.3,
+                          help="mean defects per Mbit (Monte-Carlo section)")
+    p_repair.add_argument("--spare-rows", type=int, default=None,
+                          help="spare rows per memory (default: 2)")
+    p_repair.add_argument("--spare-cols", type=int, default=None,
+                          help="spare columns per memory (default: 2)")
+    p_repair.add_argument("--model-rows", type=int, default=32,
+                          help="word-line cap for the modelled arrays")
+    p_repair.add_argument("--json", action="store_true",
+                          help="emit the machine-readable repair report")
+    p_repair.set_defaults(func=_cmd_repair)
+
+    p_strat = sub.add_parser(
+        "strategies", help="list registered scheduling strategies and repair allocators"
+    )
+    p_strat.set_defaults(func=_cmd_strategies)
 
     args = parser.parse_args(argv)
     return args.func(args)

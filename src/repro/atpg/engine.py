@@ -12,8 +12,8 @@ Two evaluators over the same levelized gate order:
 
 from __future__ import annotations
 
-from repro.netlist.cells import HIGH, LIBRARY, LOW, X
-from repro.netlist.netlist import Module, PortDir
+from repro.netlist.cells import LIBRARY, X
+from repro.netlist.netlist import Module
 
 
 def _levelize(module: Module):

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 
 from repro.atpg.engine import CombEngine
 from repro.atpg.faults import StuckFault
-from repro.netlist.cells import HIGH, LIBRARY, LOW, X
+from repro.netlist.cells import LIBRARY, X
 
 #: Objective inversion parity through each cell type (None = pick any).
 _INVERTING = {"INV", "NAND2", "NAND3", "NOR2", "NOR3", "XNOR2"}

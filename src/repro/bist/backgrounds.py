@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.bist.march import MarchTest, Op, Order
+from repro.bist.march import MarchTest, Order
 
 
 def standard_backgrounds(bits: int) -> list[int]:

@@ -21,7 +21,7 @@ from repro.bist.march import MARCH_C_MINUS, MarchTest
 from repro.bist.memory_model import FaultFreeMemory, FaultModel, FaultyMemory
 from repro.bist.scheduling import BistPlan, plan_bist
 from repro.bist.sequencer import make_sequencer
-from repro.bist.tpg import TpgRunResult, make_tpg, march_cycles, run_tpg
+from repro.bist.tpg import TpgRunResult, make_tpg, run_tpg
 from repro.netlist import Module, Netlist
 from repro.soc.memory import MemorySpec
 from repro.util import Table, format_cycles, format_gates

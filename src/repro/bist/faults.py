@@ -14,7 +14,6 @@ from __future__ import annotations
 
 import itertools
 import random
-from dataclasses import dataclass
 
 from repro.bist.memory_model import FaultModel, MemoryState
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.bist.faults import FAULT_CLASSES, FaultModel, classify, fault_population
-from repro.bist.march import MarchTest, Op, Order
+from repro.bist.march import MarchTest, Order
 from repro.bist.memory_model import FaultFreeMemory, FaultyMemory, MemoryInterface
 from repro.util import Table
 
@@ -31,6 +31,31 @@ def run_march(memory: MemoryInterface, march: MarchTest) -> bool:
                     if memory.read(addr) != op.value_bit:
                         return False
     return True
+
+
+def diagnose_march(memory: MemoryInterface, march: MarchTest) -> list[int]:
+    """Apply ``march`` in *diagnosis mode*: run to completion and log
+    every failing read's address instead of stopping at the first
+    mismatch.
+
+    This is the bitmap-capture mode of a BIST controller with diagnosis
+    support — the raw material for redundancy analysis
+    (:mod:`repro.repair`).  Returns the sorted distinct addresses whose
+    reads mismatched; an empty list means the memory passed.
+    """
+    failing: set[int] = set()
+    size = memory.size
+    for element in march.elements:
+        if element.pause_before:
+            memory.pause()
+        addresses = range(size) if element.order is not Order.DOWN else range(size - 1, -1, -1)
+        for addr in addresses:
+            for op in element.ops:
+                if op.is_write:
+                    memory.write(addr, op.value_bit)
+                elif memory.read(addr) != op.value_bit:
+                    failing.add(addr)
+    return sorted(failing)
 
 
 def detects(march: MarchTest, fault: FaultModel, size: int, seed: int = 1) -> bool:

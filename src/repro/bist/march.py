@@ -17,7 +17,7 @@ retention pause before it (used by the data-retention variants).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 class Op(enum.Enum):

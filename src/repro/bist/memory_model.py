@@ -14,8 +14,7 @@ whose read/write paths are intercepted by a fault model object
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Optional, Protocol
+from typing import Protocol, Sequence
 
 
 class MemoryState:
@@ -70,7 +69,13 @@ class FaultFreeMemory:
 
 
 class FaultyMemory:
-    """A memory with one injected fault (single-fault assumption).
+    """A memory with injected faults.
+
+    ``fault`` is a single :class:`FaultModel` (the classical single-fault
+    assumption of March theory) or a sequence of them — multiple defects
+    landing in one array, as physical-defect injection produces.  A
+    sequence is wrapped in a :class:`CompositeFault`, whose ordering
+    semantics are documented there.
 
     ``initial_overrides`` pins specific cells' power-up values — the
     fault simulator uses this to check *guaranteed* detection (a March
@@ -81,7 +86,7 @@ class FaultyMemory:
     def __init__(
         self,
         size: int,
-        fault: "FaultModel",
+        fault: "FaultModel | Sequence[FaultModel]",
         seed: int | None = 1,
         initial_overrides: dict[int, int] | None = None,
     ):
@@ -89,6 +94,8 @@ class FaultyMemory:
         for addr, value in (initial_overrides or {}).items():
             self.state.cells[addr] = value & 1
         self.size = size
+        if not isinstance(fault, FaultModel):
+            fault = CompositeFault(fault)
         self.fault = fault
         fault.on_inject(self.state)
 
@@ -134,3 +141,64 @@ class FaultModel:
 
     def apply_pause(self, state: MemoryState) -> None:
         """Retention pause hook (only DRF reacts)."""
+
+
+class CompositeFault(FaultModel):
+    """Several faults injected into one array (multi-defect chips).
+
+    Ordering semantics — deterministic and documented, since two faults
+    can claim the same cell:
+
+    * a read or write at address ``a`` is handled by the **first** fault
+      in the list whose ``cells_involved`` contains ``a`` (its coupling
+      side effects apply); addresses no fault claims behave fault-free;
+    * ``on_inject`` and ``apply_pause`` run for **every** fault, in list
+      order (a retention leak happens whether or not another fault also
+      touches the cell).
+
+    So ``CompositeFault([SAF0(5), TF_UP(5)])`` reads 0 at cell 5 (the
+    stuck-at masks the transition fault), while the reversed order
+    behaves as a pure transition fault — callers pin the physical story
+    by ordering the list.
+    """
+
+    def __init__(self, faults: Sequence[FaultModel]):
+        self.faults = list(faults)
+        if not self.faults:
+            raise ValueError("CompositeFault needs at least one fault")
+        self.name = "+".join(f.name for f in self.faults)
+
+    @property
+    def cells_involved(self) -> tuple[int, ...]:
+        seen: dict[int, None] = {}
+        for fault in self.faults:
+            for cell in fault.cells_involved:
+                seen.setdefault(cell, None)
+        return tuple(seen)
+
+    def _owner(self, addr: int) -> "FaultModel | None":
+        for fault in self.faults:
+            if addr in fault.cells_involved:
+                return fault
+        return None
+
+    def on_inject(self, state: MemoryState) -> None:
+        for fault in self.faults:
+            fault.on_inject(state)
+
+    def apply_read(self, state: MemoryState, addr: int) -> int:
+        owner = self._owner(addr)
+        if owner is None:
+            return state.cells[addr]
+        return owner.apply_read(state, addr)
+
+    def apply_write(self, state: MemoryState, addr: int, value: int) -> None:
+        owner = self._owner(addr)
+        if owner is None:
+            state.cells[addr] = value
+        else:
+            owner.apply_write(state, addr, value)
+
+    def apply_pause(self, state: MemoryState) -> None:
+        for fault in self.faults:
+            fault.apply_pause(state)

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.bist.march import MarchTest, Op, Order
+from repro.bist.march import MarchTest, Order
 from repro.bist.memory_model import MemoryInterface
 from repro.netlist import Module
 from repro.soc.memory import MemorySpec

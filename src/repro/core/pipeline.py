@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field, replace
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
 from repro.bist.compiler import BistEngine, Brains, BrainsConfig
 from repro.netlist import Module, Netlist, PortDir
@@ -42,6 +42,9 @@ from repro.stil.semantics import core_from_stil
 from repro.tam.bus import TamBus, build_tam
 from repro.tam.mux import make_tam_mux
 from repro.wrapper.generator import GeneratedWrapper, generate_wrapper
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.repair.analysis import RepairAnalysis
 
 #: Strategies run by ``compare_strategies`` when the config does not name
 #: its own set.  The MILP is deliberately absent — it is minutes, not
@@ -68,6 +71,7 @@ class FlowContext:
     # -- artifacts, in the order the default flow produces them ----------
     tasks: list[TestTask] = field(default_factory=list)
     bist_engine: Optional[BistEngine] = None
+    repair: Optional["RepairAnalysis"] = None
     schedule: Optional[ScheduleResult] = None
     comparison: dict[str, Optional[int]] = field(default_factory=dict)
     wrappers: dict[str, GeneratedWrapper] = field(default_factory=dict)
@@ -408,9 +412,20 @@ class TranslatePatterns(Stage):
                 )
 
 
-def default_stages() -> list[Stage]:
-    """The paper's Fig.-1 flow, in order."""
-    return [ParseStil(), CompileBist(), Schedule(), InsertDft(), TranslatePatterns()]
+def default_stages(repair: bool = False) -> list[Stage]:
+    """The paper's Fig.-1 flow, in order.
+
+    ``repair=True`` inserts the optional ``analyze_repair`` stage
+    (memory diagnosis & repair, :mod:`repro.repair`) right after BRAINS.
+    """
+    stages: list[Stage] = [
+        ParseStil(), CompileBist(), Schedule(), InsertDft(), TranslatePatterns(),
+    ]
+    if repair:
+        from repro.repair.analysis import AnalyzeRepair
+
+        stages.insert(2, AnalyzeRepair())
+    return stages
 
 
 @dataclass
@@ -427,6 +442,11 @@ class Pipeline:
     @classmethod
     def default(cls) -> "Pipeline":
         return cls(default_stages())
+
+    @classmethod
+    def with_repair(cls) -> "Pipeline":
+        """The default flow plus memory repair analysis after BRAINS."""
+        return cls(default_stages(repair=True))
 
     @property
     def stage_names(self) -> list[str]:

@@ -7,7 +7,7 @@ and CI can consume integration outcomes without scraping ASCII tables —
 the reproducibility posture argued by SAIBERSOC (Rosso et al., 2020) and
 "Testing SOAR Tools in Use" (Bridges et al., 2022).
 
-Schema (``schema`` = ``"repro/integration-result/v1"``; documented in
+Schema (``schema`` = ``"repro/integration-result/v2"``; documented in
 ``ARCHITECTURE.md``)::
 
     soc            {name, cores, memories, test_pins, total_gates,
@@ -18,11 +18,21 @@ Schema (``schema`` = ``"repro/integration-result/v1"``; documented in
     comparison     {strategy: total_time | null}
     bist           null | {march, memory_count, group_count, total_cycles,
                            area_gates}
+    repair         null | {allocator, bisr_gates,
+                           memories: [{name, geometry, rows, cols,
+                                       spare_rows, spare_cols, bisr_gates}],
+                           monte_carlo: {trials, seed, allocator, ...,
+                                         raw_yield, repair_rate,
+                                         effective_yield}}
     wrappers       {core: {wbc_count, area_gates}}
     tam            {width, slots: [{session, core, task, wires}]}
     dft_area       {chip_gates, overhead_percent, items: [{name, gates}]}
     programs       {name: {cycles, pins}}
     runtime_seconds, stage_seconds
+
+v2 is a strict superset of v1: it adds the nullable ``repair`` key (and
+a "BISR" line in ``dft_area.items`` when repair analysis ran); every v1
+key is unchanged, so v1 consumers that ignore unknown keys keep working.
 
 All values are JSON types, so ``json.loads(r.to_json()) == r.to_dict()``
 round-trips exactly.
@@ -32,7 +42,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.bist.compiler import BistEngine
 from repro.netlist import AreaReport, Module, Netlist
@@ -43,7 +53,10 @@ from repro.tam.bus import TamBus
 from repro.util import Table, format_cycles
 from repro.wrapper.generator import GeneratedWrapper
 
-RESULT_SCHEMA = "repro/integration-result/v1"
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.repair.analysis import RepairAnalysis
+
+RESULT_SCHEMA = "repro/integration-result/v2"
 BATCH_SCHEMA = "repro/batch-result/v1"
 
 
@@ -61,6 +74,7 @@ class IntegrationResult:
     controller_module: Module
     tam_module: Module
     programs: dict[str, AteProgram] = field(default_factory=dict)
+    repair: Optional["RepairAnalysis"] = None
     runtime_seconds: float = 0.0
     stage_seconds: dict[str, float] = field(default_factory=dict)
 
@@ -78,6 +92,7 @@ class IntegrationResult:
             controller_module=ctx.controller_module,
             tam_module=ctx.tam_module,
             programs=ctx.programs,
+            repair=ctx.repair,
             runtime_seconds=runtime_seconds,
             stage_seconds=dict(ctx.stage_seconds),
         )
@@ -95,6 +110,9 @@ class IntegrationResult:
                           note="paper: ~371 gates")
         report.add_module("TAM multiplexer", self.tam_module, self.netlist,
                           note="paper: ~132 gates")
+        if self.repair is not None:
+            report.add("BISR (fuses + comparators)", self.repair.bisr_gates_total,
+                       note=f"{len(self.repair.memories)} memories")
         return report
 
     @property
@@ -118,36 +136,10 @@ class IntegrationResult:
                 "memory_bits": soc.total_memory_bits,
                 "power_budget": soc.power_budget,
             },
-            "schedule": {
-                "strategy": self.schedule.strategy,
-                "total_time": self.schedule.total_time,
-                "session_count": self.schedule.session_count,
-                "pin_budget": self.schedule.pin_budget,
-                "notes": self.schedule.notes,
-                "sessions": [
-                    {
-                        "index": session.index,
-                        "length": session.length,
-                        "power": session.power,
-                        "control_pins": session.control_pins,
-                        "data_pins": session.data_pins,
-                        "tests": [
-                            {
-                                "name": test.task.name,
-                                "core": test.task.core_name,
-                                "kind": test.task.kind.value,
-                                "width": test.width,
-                                "start": test.start,
-                                "finish": test.finish,
-                            }
-                            for test in session.tests
-                        ],
-                    }
-                    for session in self.schedule.sessions
-                ],
-            },
+            "schedule": self.schedule.to_dict(),
             "comparison": dict(self.comparison),
             "bist": self.bist_engine.to_dict() if self.bist_engine else None,
+            "repair": self.repair.to_dict() if self.repair else None,
             "wrappers": {
                 name: {
                     "wbc_count": wrapper.wbc_count,
@@ -203,6 +195,9 @@ class IntegrationResult:
             lines.append("")
         if self.bist_engine is not None:
             lines.append(self.bist_engine.plan.render())
+            lines.append("")
+        if self.repair is not None:
+            lines.append(self.repair.render())
             lines.append("")
         lines.append(self.dft_area_report.render())
         lines.append(

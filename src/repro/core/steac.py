@@ -55,6 +55,15 @@ class SteacConfig:
         compare_with: strategy names the comparison covers; None = the
             fast built-in trio (session, nonsession, serial).  Add
             "ilp" here to race the exact MILP too.
+        analyze_repair: run the optional memory diagnosis & repair stage
+            (:mod:`repro.repair`) after BRAINS — BISR area lands in the
+            DFT report and a Monte-Carlo repair-rate estimate in the
+            result's ``repair`` section.
+        repair_trials: Monte-Carlo chips sampled by the repair stage.
+        repair_seed: base seed of the repair stage's Monte-Carlo run.
+        repair_allocator: allocation solver, resolved by name through
+            :mod:`repro.repair.registry` ("greedy" or "exact", or
+            anything registered by a plugin).
     """
 
     march: MarchTest = MARCH_C_MINUS
@@ -64,6 +73,10 @@ class SteacConfig:
     bist_power_headroom: bool = False
     compare_strategies: bool = True
     compare_with: Optional[tuple[str, ...]] = None
+    analyze_repair: bool = False
+    repair_trials: int = 200
+    repair_seed: int = 7
+    repair_allocator: str = "greedy"
 
 
 class Steac:
@@ -105,11 +118,16 @@ class Steac:
             pattern_data: optional explicit core-name → patterns (e.g.
                 straight from :mod:`repro.atpg`).
             pipeline: optional custom stage list; default is the five
-                Fig.-1 stages from :func:`repro.core.pipeline.default_stages`.
+                Fig.-1 stages from :func:`repro.core.pipeline.default_stages`
+                (plus ``analyze_repair`` when the config enables it).
         """
         started = time.perf_counter()
         ctx = self.context(soc, stil_texts, pattern_data)
-        (pipeline or Pipeline.default()).run(ctx)
+        if pipeline is None:
+            pipeline = (
+                Pipeline.with_repair() if self.config.analyze_repair else Pipeline.default()
+            )
+        pipeline.run(ctx)
         return IntegrationResult.from_context(
             ctx, runtime_seconds=time.perf_counter() - started
         )

@@ -13,7 +13,7 @@ handled by the simulator.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 #: Logic values used by the simulator: 0, 1 and unknown.

@@ -10,10 +10,10 @@ and :mod:`repro.netlist.sim` simulates it.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Iterable, Optional, Union
+from dataclasses import dataclass
+from typing import Optional
 
-from repro.netlist.cells import LIBRARY, Cell
+from repro.netlist.cells import LIBRARY
 from repro.util import check_name
 
 

@@ -15,7 +15,7 @@ are resolved to a fixpoint inside :meth:`Simulator.evaluate`.
 from __future__ import annotations
 
 from repro.netlist.cells import HIGH, LIBRARY, LOW, X, Cell
-from repro.netlist.netlist import Module, PortDir
+from repro.netlist.netlist import Module
 
 
 class CombLoopError(ValueError):

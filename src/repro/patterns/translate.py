@@ -36,7 +36,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.patterns.ate import AteProgram
-from repro.patterns.core_patterns import CorePatternSet, ScanVector
+from repro.patterns.core_patterns import CorePatternSet
 from repro.sched.timecalc import scan_test_time
 from repro.soc.core import Core
 from repro.soc.ports import SignalKind

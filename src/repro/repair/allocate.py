@@ -1,0 +1,190 @@
+"""Redundancy allocation: map a failure bitmap onto spare rows/columns.
+
+Two phases, following the classical memory-repair literature:
+
+* **must-repair** — a row with more failing cells than the remaining
+  spare columns can only be fixed by a spare row (and symmetrically for
+  columns).  Iterated to a fixpoint, this prunes the problem and often
+  solves it outright; it can also prove the bitmap unrepairable early.
+* **final allocation** — the leftover sparse fails form a vertex-cover
+  problem (NP-complete in general).  Two solvers ship: ``exact``, a
+  branch-and-bound that is optimal on the small post-must-repair
+  residue, and ``greedy``, an essential-spare-pivoting heuristic that is
+  linear-ish and good enough for Monte-Carlo volume.
+
+Solvers register by name in :mod:`repro.repair.registry`, mirroring the
+scheduling-strategy registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.repair.bitmap import FailBitmap
+from repro.soc.memory import RedundancySpec
+
+
+@dataclass(frozen=True)
+class RepairSolution:
+    """Outcome of redundancy allocation for one bitmap.
+
+    ``rows`` / ``cols`` are the line indices replaced by spares (must-
+    repair assignments included).  ``nodes`` counts branch-and-bound
+    nodes for the exact solver (0 for the heuristic).
+    """
+
+    solver: str
+    repairable: bool
+    rows: tuple[int, ...] = ()
+    cols: tuple[int, ...] = ()
+    nodes: int = 0
+
+    @property
+    def spares_used(self) -> int:
+        return len(self.rows) + len(self.cols)
+
+    def to_dict(self) -> dict:
+        return {
+            "solver": self.solver,
+            "repairable": self.repairable,
+            "rows": list(self.rows),
+            "cols": list(self.cols),
+            "spares_used": self.spares_used,
+        }
+
+
+@dataclass
+class MustRepairResult:
+    """Fixpoint of must-repair analysis."""
+
+    rows: set[int] = field(default_factory=set)
+    cols: set[int] = field(default_factory=set)
+    residual: FailBitmap | None = None
+    feasible: bool = True
+
+
+def must_repair(bitmap: FailBitmap, spares: RedundancySpec) -> MustRepairResult:
+    """Iterate the must-repair rules to a fixpoint.
+
+    A row whose fail count exceeds the spare columns still available
+    *must* take a spare row; repairing it changes the column counts, so
+    the rules iterate until nothing new fires.  ``feasible=False`` means
+    must-repair alone already needs more spares than exist.
+    """
+    result = MustRepairResult()
+    current = bitmap
+    while True:
+        cols_left = spares.spare_cols - len(result.cols)
+        rows_left = spares.spare_rows - len(result.rows)
+        new_rows = {r for r, n in current.row_counts().items() if n > cols_left}
+        new_cols = {c for c, n in current.col_counts().items() if n > rows_left}
+        if not new_rows and not new_cols:
+            break
+        result.rows |= new_rows
+        result.cols |= new_cols
+        if len(result.rows) > spares.spare_rows or len(result.cols) > spares.spare_cols:
+            result.feasible = False
+            result.residual = current.without_lines(new_rows, new_cols)
+            return result
+        current = current.without_lines(new_rows, new_cols)
+    result.residual = current
+    return result
+
+
+def solve_exact(bitmap: FailBitmap, spares: RedundancySpec) -> RepairSolution:
+    """Optimal allocation by branch-and-bound (registry name ``exact``).
+
+    After must-repair, every remaining fail must be covered by a spare
+    row or a spare column; branch on the two choices for the first
+    uncovered fail, prune on exhausted spares and on the best solution
+    found so far.  Optimal in spares used; intended for the small
+    bitmaps that survive must-repair, not for full line defects.
+    """
+    pre = must_repair(bitmap, spares)
+    if not pre.feasible:
+        return RepairSolution("exact", False, tuple(sorted(pre.rows)), tuple(sorted(pre.cols)))
+    nodes = 0
+    best: tuple[frozenset[int], frozenset[int]] | None = None
+
+    rows_budget = spares.spare_rows - len(pre.rows)
+    cols_budget = spares.spare_cols - len(pre.cols)
+
+    def recurse(fails: frozenset[tuple[int, int]], rows: frozenset[int], cols: frozenset[int]) -> None:
+        nonlocal nodes, best
+        nodes += 1
+        if best is not None and len(rows) + len(cols) >= len(best[0]) + len(best[1]):
+            return  # cannot beat the incumbent
+        if not fails:
+            best = (rows, cols)
+            return
+        r, c = min(fails)  # deterministic branch order
+        if len(rows) < rows_budget:
+            recurse(frozenset(f for f in fails if f[0] != r), rows | {r}, cols)
+        if len(cols) < cols_budget:
+            recurse(frozenset(f for f in fails if f[1] != c), rows, cols | {c})
+
+    recurse(frozenset(pre.residual.fails), frozenset(), frozenset())
+    if best is None:
+        return RepairSolution(
+            "exact", False, tuple(sorted(pre.rows)), tuple(sorted(pre.cols)), nodes
+        )
+    return RepairSolution(
+        "exact",
+        True,
+        tuple(sorted(pre.rows | best[0])),
+        tuple(sorted(pre.cols | best[1])),
+        nodes,
+    )
+
+
+def solve_greedy(bitmap: FailBitmap, spares: RedundancySpec) -> RepairSolution:
+    """Essential-spare-pivoting heuristic (registry name ``greedy``).
+
+    After must-repair: fails that are alone in both their row and their
+    column (essential/orphan fails) take whichever spare type is more
+    plentiful; otherwise the row or column with the most remaining fails
+    is repaired next.  Fast and allocation-quality-competitive, but not
+    guaranteed to find a repair the exact solver would.
+    """
+    pre = must_repair(bitmap, spares)
+    rows, cols = set(pre.rows), set(pre.cols)
+    if not pre.feasible:
+        return RepairSolution("greedy", False, tuple(sorted(rows)), tuple(sorted(cols)))
+    current = pre.residual
+    while not current.is_clear:
+        rows_left = spares.spare_rows - len(rows)
+        cols_left = spares.spare_cols - len(cols)
+        if rows_left == 0 and cols_left == 0:
+            return RepairSolution("greedy", False, tuple(sorted(rows)), tuple(sorted(cols)))
+        row_counts = current.row_counts()
+        col_counts = current.col_counts()
+        orphan = next(
+            (
+                (r, c)
+                for r, c in sorted(current.fails)
+                if row_counts[r] == 1 and col_counts[c] == 1
+            ),
+            None,
+        )
+        if orphan is not None:
+            r, c = orphan
+            # the orphan costs one spare either way; spend the spare
+            # type with more slack so pivot lines keep their options
+            if rows_left >= cols_left and rows_left > 0:
+                rows.add(r)
+                current = current.without_lines(rows=(r,))
+            else:
+                cols.add(c)
+                current = current.without_lines(cols=(c,))
+            continue
+        best_row = max(row_counts, key=lambda r: (row_counts[r], -r)) if rows_left else None
+        best_col = max(col_counts, key=lambda c: (col_counts[c], -c)) if cols_left else None
+        if best_col is None or (
+            best_row is not None and row_counts[best_row] >= col_counts[best_col]
+        ):
+            rows.add(best_row)
+            current = current.without_lines(rows=(best_row,))
+        else:
+            cols.add(best_col)
+            current = current.without_lines(cols=(best_col,))
+    return RepairSolution("greedy", True, tuple(sorted(rows)), tuple(sorted(cols)))

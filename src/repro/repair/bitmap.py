@@ -1,0 +1,122 @@
+"""Row×column failure bitmaps — the output of diagnosis-mode BIST.
+
+A :class:`FailBitmap` is what the BIST controller's bitmap capture
+hardware delivers to the redundancy analyzer: the set of (row, column)
+coordinates whose reads mismatched over a full March run.  The platform's
+behavioral memory model is bit-oriented (one cell per address), so an
+address maps to physical coordinates as ``row = addr // cols``,
+``col = addr % cols`` — the standard word-line/bit-line unfolding of a
+``rows × cols`` array.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.bist.faultsim import diagnose_march
+from repro.bist.march import MarchTest
+from repro.bist.memory_model import MemoryInterface
+from repro.util import check_positive
+
+
+@dataclass(frozen=True)
+class FailBitmap:
+    """Failing cells of one ``rows × cols`` array."""
+
+    rows: int
+    cols: int
+    fails: frozenset[tuple[int, int]] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        check_positive(self.rows, "bitmap row count")
+        check_positive(self.cols, "bitmap column count")
+        for r, c in self.fails:
+            if not (0 <= r < self.rows and 0 <= c < self.cols):
+                raise ValueError(
+                    f"fail ({r},{c}) outside {self.rows}x{self.cols} bitmap"
+                )
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_addresses(cls, addresses, rows: int, cols: int) -> "FailBitmap":
+        """Fold bit-oriented failing addresses into physical coordinates."""
+        fails = frozenset((addr // cols, addr % cols) for addr in addresses)
+        return cls(rows=rows, cols=cols, fails=fails)
+
+    @classmethod
+    def capture(cls, memory: MemoryInterface, march: MarchTest, cols: int) -> "FailBitmap":
+        """Run ``march`` over ``memory`` in diagnosis mode and fold the
+        failing addresses into a bitmap (``memory.size`` must be
+        ``rows * cols``)."""
+        if memory.size % cols:
+            raise ValueError(
+                f"memory size {memory.size} is not a multiple of {cols} columns"
+            )
+        return cls.from_addresses(
+            diagnose_march(memory, march), rows=memory.size // cols, cols=cols
+        )
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def fail_count(self) -> int:
+        return len(self.fails)
+
+    @property
+    def is_clear(self) -> bool:
+        return not self.fails
+
+    def row_counts(self) -> dict[int, int]:
+        """Failing-cell count per row (rows with fails only)."""
+        return dict(Counter(r for r, _ in self.fails))
+
+    def col_counts(self) -> dict[int, int]:
+        """Failing-cell count per column (columns with fails only)."""
+        return dict(Counter(c for _, c in self.fails))
+
+    @property
+    def failing_rows(self) -> list[int]:
+        return sorted({r for r, _ in self.fails})
+
+    @property
+    def failing_cols(self) -> list[int]:
+        return sorted({c for _, c in self.fails})
+
+    def without_lines(self, rows=(), cols=()) -> "FailBitmap":
+        """The bitmap with the given rows/columns repaired (removed)."""
+        rows, cols = set(rows), set(cols)
+        return FailBitmap(
+            self.rows,
+            self.cols,
+            frozenset((r, c) for r, c in self.fails if r not in rows and c not in cols),
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-native bitmap statistics (not the raw cell list — that is
+        O(array) for line defects; stats are what reports need)."""
+        row_counts = self.row_counts()
+        col_counts = self.col_counts()
+        return {
+            "rows": self.rows,
+            "cols": self.cols,
+            "fail_count": self.fail_count,
+            "failing_rows": len(row_counts),
+            "failing_cols": len(col_counts),
+            "max_row_fails": max(row_counts.values(), default=0),
+            "max_col_fails": max(col_counts.values(), default=0),
+        }
+
+    def render(self, max_dim: int = 32) -> str:
+        """ASCII picture for small bitmaps (``.`` pass, ``X`` fail)."""
+        if self.rows > max_dim or self.cols > max_dim:
+            return (
+                f"{self.rows}x{self.cols} bitmap, {self.fail_count} failing cells "
+                f"in {len(self.row_counts())} rows / {len(self.col_counts())} columns"
+            )
+        grid = [
+            "".join("X" if (r, c) in self.fails else "." for c in range(self.cols))
+            for r in range(self.rows)
+        ]
+        return "\n".join(grid)

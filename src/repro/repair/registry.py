@@ -1,0 +1,77 @@
+"""Allocator plugin registry: repair solvers resolve by name.
+
+Mirrors :mod:`repro.sched.registry` — ``exact`` and ``greedy`` ship
+built in, and downstream code can register its own solver without
+touching the platform:
+
+    >>> from repro.repair.registry import register_allocator
+    >>> @register_allocator("mine")
+    ... def solve_mine(bitmap, spares):
+    ...     ...
+
+Every allocator shares one calling convention::
+
+    fn(bitmap: FailBitmap, spares: RedundancySpec) -> RepairSolution
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+from repro.repair.allocate import RepairSolution, solve_exact, solve_greedy
+from repro.repair.bitmap import FailBitmap
+from repro.soc.memory import RedundancySpec
+
+
+class AllocatorFn(Protocol):
+    """The uniform allocator entry point."""
+
+    def __call__(self, bitmap: FailBitmap, spares: RedundancySpec) -> RepairSolution: ...
+
+
+_REGISTRY: dict[str, AllocatorFn] = {}
+
+
+def register_allocator(name: str) -> Callable[[AllocatorFn], AllocatorFn]:
+    """Decorator: register ``fn`` as the repair allocator ``name``.
+
+    Re-registering a name replaces the previous entry (last one wins),
+    so tests and plugins can shadow a built-in.
+    """
+
+    def decorator(fn: AllocatorFn) -> AllocatorFn:
+        _REGISTRY[name] = fn
+        return fn
+
+    return decorator
+
+
+def get_allocator(name: str) -> AllocatorFn:
+    """Look up an allocator by name.
+
+    Raises:
+        ValueError: unknown name (message lists what is available).
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown repair allocator {name!r}; "
+            f"available: {', '.join(available_allocators())}"
+        ) from None
+
+
+def available_allocators() -> list[str]:
+    """Registered allocator names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def resolve_allocation(
+    name: str, bitmap: FailBitmap, spares: RedundancySpec
+) -> RepairSolution:
+    """Run the named allocator — the one-call front end to the registry."""
+    return get_allocator(name)(bitmap, spares)
+
+
+register_allocator("exact")(solve_exact)
+register_allocator("greedy")(solve_greedy)

@@ -9,7 +9,6 @@ schedulers use.
 
 from __future__ import annotations
 
-from bisect import insort
 from dataclasses import dataclass, field
 
 from repro.sched.result import TestTask

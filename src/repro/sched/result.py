@@ -129,6 +129,39 @@ class ScheduleResult:
     def session_count(self) -> int:
         return len(self.sessions)
 
+    def to_dict(self) -> dict:
+        """JSON-native schedule document — the ``schedule`` section of
+        the integration-result schema, also emitted standalone by
+        ``python -m repro d695 --json``."""
+        return {
+            "strategy": self.strategy,
+            "total_time": self.total_time,
+            "session_count": self.session_count,
+            "pin_budget": self.pin_budget,
+            "notes": self.notes,
+            "sessions": [
+                {
+                    "index": session.index,
+                    "length": session.length,
+                    "power": session.power,
+                    "control_pins": session.control_pins,
+                    "data_pins": session.data_pins,
+                    "tests": [
+                        {
+                            "name": test.task.name,
+                            "core": test.task.core_name,
+                            "kind": test.task.kind.value,
+                            "width": test.width,
+                            "start": test.start,
+                            "finish": test.finish,
+                        }
+                        for test in session.tests
+                    ],
+                }
+                for session in self.sessions
+            ],
+        }
+
     def render(self) -> str:
         """ASCII schedule report."""
         table = Table(

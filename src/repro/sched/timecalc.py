@@ -21,7 +21,6 @@ from __future__ import annotations
 from functools import lru_cache
 
 from repro.soc.core import Core
-from repro.soc.tests import TestKind
 from repro.wrapper.balance import design_wrapper
 from repro.wrapper.wir import WIR_BITS
 

@@ -9,7 +9,7 @@ and the public ITC'02 d695 benchmark (:mod:`repro.soc.itc02`).
 
 from repro.soc.clocks import ClockDomain, Pll
 from repro.soc.core import ControlNeeds, Core, CoreType
-from repro.soc.memory import MemorySpec, MemoryType
+from repro.soc.memory import MemorySpec, MemoryType, RedundancySpec
 from repro.soc.ports import Direction, Port, PortCounts, SignalKind, make_bus
 from repro.soc.scan import ScanChain, rebalance_lengths, total_flops
 from repro.soc.soc import Soc
@@ -23,6 +23,7 @@ __all__ = [
     "CoreType",
     "MemorySpec",
     "MemoryType",
+    "RedundancySpec",
     "Direction",
     "Port",
     "PortCounts",

@@ -13,7 +13,7 @@ import enum
 from dataclasses import dataclass, field
 
 from repro.soc.clocks import ClockDomain
-from repro.soc.ports import Direction, Port, PortCounts, SignalKind
+from repro.soc.ports import Port, PortCounts, SignalKind
 from repro.soc.scan import ScanChain, total_flops
 from repro.soc.tests import CoreTest, TestKind
 from repro.util import check_name, check_non_negative

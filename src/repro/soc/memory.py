@@ -11,8 +11,9 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from typing import Optional
 
-from repro.util import check_name, check_positive
+from repro.util import check_name, check_non_negative, check_positive
 
 
 class MemoryType(enum.Enum):
@@ -20,6 +21,32 @@ class MemoryType(enum.Enum):
 
     SINGLE_PORT = "SP"
     TWO_PORT = "TP"
+
+
+@dataclass(frozen=True)
+class RedundancySpec:
+    """Repair resources of one embedded SRAM: spare word lines and spare
+    bit lines, switched in by the BISR logic after diagnosis.
+
+    A memory with no spares (``RedundancySpec(0, 0)``) is diagnosable but
+    not repairable; :mod:`repro.repair` treats a missing spec the same way
+    unless the caller supplies a default.
+    """
+
+    spare_rows: int = 0
+    spare_cols: int = 0
+
+    def __post_init__(self) -> None:
+        check_non_negative(self.spare_rows, "spare row count")
+        check_non_negative(self.spare_cols, "spare column count")
+
+    @property
+    def has_spares(self) -> bool:
+        return self.spare_rows > 0 or self.spare_cols > 0
+
+    def describe(self) -> str:
+        """Human-readable spare summary, e.g. ``"2R+2C"``."""
+        return f"{self.spare_rows}R+{self.spare_cols}C"
 
 
 @dataclass(frozen=True)
@@ -34,6 +61,8 @@ class MemorySpec:
         freq_mhz: BIST shift/march frequency for time-in-seconds reports.
         power: abstract test-power units drawn while under BIST (used by
             power-constrained BIST scheduling).
+        redundancy: spare rows/columns available for repair (None = the
+            array ships without repair resources).
     """
 
     name: str
@@ -42,6 +71,7 @@ class MemorySpec:
     mem_type: MemoryType = MemoryType.SINGLE_PORT
     freq_mhz: float = 100.0
     power: float = 1.0
+    redundancy: Optional[RedundancySpec] = None
 
     def __post_init__(self) -> None:
         check_name(self.name, "memory name")
@@ -62,6 +92,13 @@ class MemorySpec:
     @property
     def is_two_port(self) -> bool:
         return self.mem_type is MemoryType.TWO_PORT
+
+    def with_redundancy(self, redundancy: RedundancySpec) -> "MemorySpec":
+        """A copy of this spec carrying the given spare resources (the
+        spec itself is frozen)."""
+        import dataclasses
+
+        return dataclasses.replace(self, redundancy=redundancy)
 
     def describe(self) -> str:
         """Human-readable geometry, e.g. ``"16Kx16 SP"``."""

@@ -14,7 +14,7 @@ Every core advertises its IO as a list of :class:`Port` objects.  The
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.util import check_name, check_positive
 

@@ -10,7 +10,7 @@ through the pattern translator.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.util import check_name, check_non_negative

@@ -25,8 +25,8 @@ when producing chip-level cycles.)
 from __future__ import annotations
 
 from repro.patterns.core_patterns import CorePatternSet
-from repro.soc.core import Core, CoreType
-from repro.soc.ports import Direction, Port, SignalKind
+from repro.soc.core import Core
+from repro.soc.ports import SignalKind
 from repro.soc.tests import CoreTest, TestKind
 
 _KIND_TAGS = {

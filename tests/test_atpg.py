@@ -18,7 +18,7 @@ from repro.atpg import (
     trace_chain_flops,
 )
 from repro.netlist import LOW, Module, Netlist, Simulator, flatten
-from repro.netlist.cells import HIGH as H, LOW as L, X
+from repro.netlist.cells import HIGH as H, LOW as L
 from repro.patterns import replay, translate_core_to_wrapper, wrapper_scan_program
 from repro.soc.demo import build_demo_core, build_demo_core_module
 from repro.stil import core_from_stil, core_to_stil

@@ -5,10 +5,7 @@ from hypothesis import given, strategies as st
 
 from repro.bist import (
     ALGORITHMS,
-    MARCH_B,
     MARCH_C_MINUS,
-    MATS,
-    MATS_PLUS,
     MarchElement,
     MarchTest,
     Op,

@@ -5,7 +5,6 @@ once: the controller's CONFIG/RUN walk, WIR programming over the chip
 serial chain, session-select steering of the TAM mux, shared SE/reset
 pins, and the parallel TAM data path."""
 
-import pytest
 
 from repro.atpg import generate_scan_patterns
 from repro.core import Steac

@@ -45,6 +45,20 @@ class TestCli:
         out = capsys.readouterr().out
         assert "serial schedule" in out
 
+    def test_strategies_lists_both_registries(self, capsys):
+        assert main(["strategies"]) == 0
+        out = capsys.readouterr().out
+        for name in ("session", "nonsession", "serial", "ilp", "exact", "greedy"):
+            assert f"  {name}" in out
+        assert "repair allocators" in out
+
+    def test_repair_report(self, capsys):
+        assert main(["repair", "--trials", "20", "--model-rows", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "Diagnosis & repair" in out
+        assert "Monte-Carlo repair rate" in out
+        assert "fb0" in out
+
     def test_strategy_help_lists_ilp(self, capsys):
         with pytest.raises(SystemExit) as exc:
             main(["dsc", "--help"])
@@ -61,13 +75,60 @@ class TestCli:
 
 
 class TestJsonOutput:
-    def test_dsc_json_is_schema_v1(self, capsys):
+    def test_dsc_json_is_schema_v2(self, capsys):
         assert main(["dsc", "--json"]) == 0
         doc = json.loads(capsys.readouterr().out)
-        assert doc["schema"] == "repro/integration-result/v1"
+        assert doc["schema"] == "repro/integration-result/v2"
         assert doc["soc"]["name"] == "dsc_controller"
         assert doc["schedule"]["total_time"] > 0
         assert doc["schedule"]["sessions"]
+
+    def test_d695_json_schedule(self, capsys):
+        assert main(["d695", "--pins", "48", "--strategy", "serial", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "repro/schedule-result/v1"
+        assert doc["strategy"] == "serial"
+        assert doc["total_time"] > 0
+        assert doc["sessions"][0]["tests"]
+
+    def test_repair_json_report(self, capsys):
+        assert main([
+            "repair", "--trials", "25", "--model-rows", "16", "--seed", "3", "--json",
+        ]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "repro/repair-report/v1"
+        assert doc["soc"] == "dsc_controller"
+        assert len(doc["memories"]) == 22
+        memory = doc["memories"][0]
+        assert memory["bitmap"]["fail_count"] >= 0
+        assert set(memory["allocation"]) == {
+            "solver", "repairable", "rows", "cols", "spares_used",
+        }
+        mc = doc["monte_carlo"]
+        assert mc["trials"] == 25
+        assert 0.0 <= mc["repair_rate"] <= 1.0
+
+    def test_repair_json_reproducible(self, capsys):
+        args = ["repair", "--trials", "15", "--model-rows", "16", "--json"]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        assert capsys.readouterr().out == first
+
+    def test_repair_unknown_allocator_rejected_by_argparse(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["repair", "--trials", "5", "--allocator", "magic"])
+
+    def test_repair_one_sided_spare_flag_keeps_other_default(self, capsys):
+        """--spare-rows alone must not zero the spare columns (the other
+        side keeps the documented default of 2)."""
+        assert main([
+            "repair", "--trials", "10", "--model-rows", "16",
+            "--spare-rows", "4", "--json",
+        ]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["spares"] == {"rows": 4, "cols": 2}
+        assert doc["memories"][0]["spares"] == {"rows": 4, "cols": 2}
 
     def test_dsc_json_with_verilog_file(self, capsys, tmp_path):
         """--json stays pure JSON on stdout even when a Verilog file is
@@ -75,7 +136,7 @@ class TestJsonOutput:
         target = tmp_path / "dft.v"
         assert main(["dsc", "--json", "--verilog", str(target)]) == 0
         doc = json.loads(capsys.readouterr().out)  # would raise on extra prose
-        assert doc["schema"] == "repro/integration-result/v1"
+        assert doc["schema"] == "repro/integration-result/v2"
         assert "endmodule" in target.read_text()
 
 

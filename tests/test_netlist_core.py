@@ -7,7 +7,6 @@ from repro.netlist import (
     LIBRARY,
     Module,
     Netlist,
-    PortDir,
     cell,
     flatten,
     module_to_verilog,

@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.netlist import HIGH, LOW, Module, Simulator, X
-from repro.patterns import AteCycle, AteProgram, ReplayMismatch, replay
+from repro.netlist import LOW, Module, Simulator, X
+from repro.patterns import AteProgram, ReplayMismatch, replay
 
 
 def make_inverter_dut():

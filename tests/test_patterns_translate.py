@@ -5,7 +5,7 @@ the generated wrapper netlist in the logic simulator."""
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.netlist import HIGH, LOW, Netlist, Simulator, flatten
+from repro.netlist import LOW, Netlist, Simulator, flatten
 from repro.patterns import (
     AteProgram,
     CorePatternSet,

@@ -9,7 +9,6 @@ from repro.core import (
     Stage,
     Steac,
     SteacConfig,
-    default_stages,
 )
 from repro.core.pipeline import MissingArtifactError
 from repro.sched import resolve_schedule
@@ -79,9 +78,25 @@ class TestPartialFlows:
         with pytest.raises(MissingArtifactError):
             Pipeline.default().since("insert_dft").run(ctx)
 
-    def test_unknown_stage_name(self):
-        with pytest.raises(KeyError):
+    def test_until_unknown_stage_name(self):
+        with pytest.raises(KeyError, match="floorplan"):
             Pipeline.default().until("floorplan")
+
+    def test_since_unknown_stage_name(self):
+        with pytest.raises(KeyError, match="floorplan"):
+            Pipeline.default().since("floorplan")
+
+    def test_replacing_unknown_stage_name(self):
+        class Nop(Stage):
+            name = "nop"
+
+            def execute(self, ctx):
+                pass
+
+        with pytest.raises(KeyError) as exc:
+            Pipeline.default().replacing("floorplan", Nop())
+        # the error names the stages that do exist
+        assert "parse_stil" in str(exc.value)
 
 
 class TestComposition:

@@ -1,0 +1,144 @@
+"""Tests for diagnosis-mode March runs and failure bitmaps
+(repro.bist.faultsim.diagnose_march + repro.repair.bitmap)."""
+
+import pytest
+
+from repro.bist import (
+    MARCH_C_MINUS,
+    CompositeFault,
+    FaultFreeMemory,
+    FaultyMemory,
+    InversionCouplingFault,
+    StuckAtFault,
+    TransitionFault,
+    diagnose_march,
+    run_march,
+)
+from repro.repair import FailBitmap
+
+
+class TestDiagnoseMarch:
+    def test_fault_free_memory_has_no_fails(self):
+        assert diagnose_march(FaultFreeMemory(32), MARCH_C_MINUS) == []
+
+    def test_stuck_at_fault_logged_at_its_address(self):
+        memory = FaultyMemory(32, StuckAtFault(13, 1))
+        assert diagnose_march(memory, MARCH_C_MINUS) == [13]
+
+    def test_full_run_logs_every_failing_address(self):
+        """Diagnosis mode keeps going past the first mismatch — unlike
+        run_march, which stops (go/no-go mode)."""
+        faults = [StuckAtFault(3, 1), StuckAtFault(20, 0), StuckAtFault(29, 1)]
+        memory = FaultyMemory(32, faults)
+        assert diagnose_march(memory, MARCH_C_MINUS) == [3, 20, 29]
+        assert not run_march(FaultyMemory(32, faults), MARCH_C_MINUS)
+
+    def test_coupling_fault_fails_at_victim(self):
+        memory = FaultyMemory(32, InversionCouplingFault(5, 6, rising=True))
+        assert 6 in diagnose_march(memory, MARCH_C_MINUS)
+
+
+class TestMultipleFaults:
+    """FaultyMemory with several interacting faults (CompositeFault)."""
+
+    def test_same_cell_first_fault_wins_reads(self):
+        """SAF0 before TF_UP on one cell: the stuck-at masks the
+        transition fault, so the cell always reads 0."""
+        memory = FaultyMemory(16, [StuckAtFault(5, 0), TransitionFault(5, rising=True)])
+        memory.write(5, 1)
+        assert memory.read(5) == 0
+
+    def test_same_cell_order_matters(self):
+        """Reversed order behaves as a pure transition fault."""
+        memory = FaultyMemory(16, [TransitionFault(5, rising=True), StuckAtFault(5, 0)])
+        memory.write(5, 0)
+        memory.write(5, 1)  # 0 -> 1 blocked by the TF
+        assert memory.read(5) == 0
+        memory.state.cells[5] = 1
+        assert memory.read(5) == 1  # not stuck: the TF owns the cell
+
+    def test_coupling_onto_stuck_cell(self):
+        """An aggressor write still flips the victim's stored state even
+        when a stuck-at masks the victim's reads."""
+        memory = FaultyMemory(
+            16,
+            [StuckAtFault(7, 1), InversionCouplingFault(2, 7, rising=True)],
+            initial_overrides={2: 0},
+        )
+        memory.state.cells[7] = 1
+        memory.write(2, 1)  # aggressor 0 -> 1: inverts cell 7's state
+        assert memory.state.cells[7] == 0  # the coupling flip landed
+        assert memory.read(7) == 1  # but the read path is owned by the SAF
+
+    def test_unclaimed_cells_behave_fault_free(self):
+        memory = FaultyMemory(16, [StuckAtFault(0, 1), StuckAtFault(15, 0)])
+        memory.write(8, 1)
+        assert memory.read(8) == 1
+
+    def test_march_detects_all_injected_faults(self):
+        memory = FaultyMemory(64, [StuckAtFault(10, 1), TransitionFault(40, rising=False)])
+        fails = diagnose_march(memory, MARCH_C_MINUS)
+        assert set(fails) == {10, 40}
+
+    def test_empty_fault_list_rejected(self):
+        with pytest.raises(ValueError):
+            CompositeFault([])
+
+    def test_composite_name_and_cells(self):
+        fault = CompositeFault([StuckAtFault(1, 0), StuckAtFault(3, 1)])
+        assert fault.name == "SAF0+SAF1"
+        assert fault.cells_involved == (1, 3)
+
+
+class TestFailBitmap:
+    def test_from_addresses_folds_row_major(self):
+        bitmap = FailBitmap.from_addresses([0, 5, 17], rows=4, cols=8)
+        assert bitmap.fails == {(0, 0), (0, 5), (2, 1)}
+
+    def test_capture_from_march_run(self):
+        memory = FaultyMemory(32, StuckAtFault(13, 1))  # (row 1, col 5) at 8 cols
+        bitmap = FailBitmap.capture(memory, MARCH_C_MINUS, cols=8)
+        assert bitmap.rows == 4 and bitmap.cols == 8
+        assert bitmap.fails == {(1, 5)}
+
+    def test_capture_rejects_ragged_geometry(self):
+        with pytest.raises(ValueError):
+            FailBitmap.capture(FaultFreeMemory(30), MARCH_C_MINUS, cols=8)
+
+    def test_out_of_range_fail_rejected(self):
+        with pytest.raises(ValueError):
+            FailBitmap(4, 4, frozenset({(4, 0)}))
+
+    def test_counts_and_lines(self):
+        bitmap = FailBitmap(4, 4, frozenset({(1, 0), (1, 2), (3, 2)}))
+        assert bitmap.fail_count == 3
+        assert bitmap.row_counts() == {1: 2, 3: 1}
+        assert bitmap.col_counts() == {0: 1, 2: 2}
+        assert bitmap.failing_rows == [1, 3]
+        assert bitmap.failing_cols == [0, 2]
+
+    def test_without_lines_repairs(self):
+        bitmap = FailBitmap(4, 4, frozenset({(1, 0), (1, 2), (3, 2)}))
+        assert bitmap.without_lines(rows=(1,)).fails == {(3, 2)}
+        assert bitmap.without_lines(rows=(1,), cols=(2,)).is_clear
+
+    def test_to_dict_stats(self):
+        bitmap = FailBitmap(8, 8, frozenset({(0, 0), (0, 1), (5, 1)}))
+        doc = bitmap.to_dict()
+        assert doc == {
+            "rows": 8,
+            "cols": 8,
+            "fail_count": 3,
+            "failing_rows": 2,
+            "failing_cols": 2,
+            "max_row_fails": 2,
+            "max_col_fails": 2,
+        }
+
+    def test_render_small_grid(self):
+        bitmap = FailBitmap(2, 3, frozenset({(0, 1)}))
+        assert bitmap.render() == ".X.\n..."
+
+    def test_render_large_falls_back_to_summary(self):
+        bitmap = FailBitmap(100, 100, frozenset({(1, 1)}))
+        assert "100x100" in bitmap.render()

@@ -2,11 +2,9 @@
 scheduler 'will then rebalance scan chains for each assigned TAM width;
 the results can be fed back to the SOC integrator')."""
 
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.sched import (
-    RebalanceAdvice,
     rebalance_advice,
     rebalance_report,
     schedule_sessions,

@@ -1,6 +1,5 @@
 """Tests for test-time models and task construction."""
 
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.sched import (

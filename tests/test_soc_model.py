@@ -7,7 +7,6 @@ from repro.soc import (
     ClockDomain,
     ControlNeeds,
     Core,
-    CoreType,
     Direction,
     MemorySpec,
     MemoryType,

@@ -1,7 +1,6 @@
 """Scheduler stress tests on synthetic SOCs: the schedulers must stay
 sound across randomly generated chips of varying shape."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.bist import MARCH_C_MINUS, plan_bist

@@ -4,7 +4,6 @@ import pytest
 
 from repro.atpg import generate_scan_patterns
 from repro.core import IntegrationResult, Steac, SteacConfig
-from repro.sched import SESSION_RECONFIG_CYCLES
 from repro.soc import Soc
 from repro.soc.demo import build_demo_core, build_demo_core_module
 from repro.soc.dsc import build_dsc_chip

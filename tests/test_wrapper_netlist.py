@@ -4,7 +4,7 @@ simulator."""
 
 import pytest
 
-from repro.netlist import HIGH, LOW, X, Module, Netlist, Simulator, flatten
+from repro.netlist import HIGH, LOW, Module, Netlist, Simulator, flatten
 from repro.soc import Core, CoreType, Direction, Port, ScanChain, SignalKind, scan_test
 from repro.wrapper import (
     WBC_AREA,
