@@ -13,11 +13,18 @@ this is the command shell for the whole reproduction:
 * ``python -m repro d695 [pins]``    — schedule the ITC'02 d695 benchmark
 * ``python -m repro repair``         — memory diagnosis, repair, and yield
 * ``python -m repro strategies``     — list every registered strategy name
+* ``python -m repro generate``       — emit a synthetic SOC (``.soc`` or JSON)
+* ``python -m repro fuzz``           — differentially test every scheduler
+  over a generated corpus, checking the :mod:`repro.verify` invariants
 
 Scheduling strategies everywhere resolve by name through
 :mod:`repro.sched.registry` — ``--strategy ilp`` runs the exact MILP —
-and repair allocators through :mod:`repro.repair.registry`; the
-``strategies`` command prints both registries.
+repair allocators through :mod:`repro.repair.registry`, and generator
+profiles through :mod:`repro.gen.profiles`; the ``strategies`` command
+prints the first two registries.
+
+Batch specs also accept generated chips: ``gen-<profile>-<seed>`` (e.g.
+``gen-tiny-7:48`` for seed 7 of the ``tiny`` profile at 48 pins).
 """
 
 from __future__ import annotations
@@ -39,6 +46,12 @@ def _allocator_choices() -> list[str]:
     return available_allocators()
 
 
+def _profile_choices() -> list[str]:
+    from repro.gen.profiles import available_profiles
+
+    return available_profiles()
+
+
 def _soc_builders() -> dict:
     from repro.soc.dsc import build_dsc_chip
     from repro.soc.itc02 import d695_soc
@@ -49,17 +62,14 @@ def _soc_builders() -> dict:
 def _build_soc(spec: str):
     """Materialize a batch SOC spec: ``name[:pins[:power]]``.
 
-    Names: ``dsc`` (the paper's case-study chip), ``d695`` (ITC'02).
-    Examples: ``dsc``, ``dsc:24``, ``dsc:28:6.5``, ``d695:48``.
+    Names: ``dsc`` (the paper's case-study chip), ``d695`` (ITC'02), or
+    ``gen-<profile>-<seed>`` for a synthetic chip from :mod:`repro.gen`.
+    Examples: ``dsc``, ``dsc:24``, ``dsc:28:6.5``, ``d695:48``,
+    ``gen-tiny-7``, ``gen-d695-like-3:48``.
     """
     builders = _soc_builders()
     parts = spec.split(":")
     name, rest = parts[0], parts[1:]
-    if name not in builders:
-        raise SystemExit(
-            f"unknown SOC {name!r} in spec {spec!r} "
-            f"(use {' or '.join(sorted(builders))})"
-        )
     try:
         kwargs = {}
         if len(rest) >= 1:
@@ -73,6 +83,29 @@ def _build_soc(spec: str):
             f"bad SOC spec {spec!r}: {exc} (format: name[:pins[:power]], "
             "pins an int, power a float)"
         ) from None
+    if name.startswith("gen-"):
+        from repro.gen import SocGenerator, available_profiles, get_profile
+
+        profile_name, _, seed_text = name[4:].rpartition("-")
+        try:
+            profile = get_profile(profile_name)
+            seed = int(seed_text)
+        except ValueError:
+            raise SystemExit(
+                f"bad generated-SOC spec {spec!r} (format: gen-<profile>-<seed>; "
+                f"profiles: {', '.join(available_profiles())})"
+            ) from None
+        soc = SocGenerator(seed, profile).generate()
+        if "test_pins" in kwargs:
+            soc.test_pins = kwargs["test_pins"]
+        if "power_budget" in kwargs:
+            soc.power_budget = kwargs["power_budget"]
+        return soc
+    if name not in builders:
+        raise SystemExit(
+            f"unknown SOC {name!r} in spec {spec!r} "
+            f"(use {' or '.join(sorted(builders))}, or gen-<profile>-<seed>)"
+        )
     return builders[name](**kwargs)
 
 
@@ -111,7 +144,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 
     specs = args.socs or ["dsc:24", "dsc:28", "dsc:36", "dsc:48"]
     socs = [_build_soc(spec) for spec in specs]
-    config = SteacConfig(strategy=args.strategy, compare_strategies=False)
+    config = SteacConfig(strategy=args.strategy, compare_strategies=False,
+                         verify_schedule=args.verify)
     batch = Steac(config).integrate_many(socs, workers=args.workers)
     if args.json:
         print(batch.to_json())
@@ -284,6 +318,180 @@ def _cmd_repair(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_generate(args: argparse.Namespace) -> int:
+    """Emit synthetic SOCs: ``.soc`` exchange text by default, or a JSON
+    document carrying both the summary and the text."""
+    from repro.gen import SocGenerator, soc_to_text
+
+    if args.count < 1:
+        raise SystemExit(f"--count must be at least 1, got {args.count}")
+    generator = SocGenerator(args.seed, args.profile)
+    socs = [generator.generate(i) for i in range(args.count)]
+    if args.json:
+        text = json.dumps({
+            "schema": "repro/generated-soc/v1",
+            "profile": args.profile,
+            "seed": args.seed,
+            "socs": [
+                {
+                    "name": soc.name,
+                    "cores": len(soc.cores),
+                    "memories": len(soc.memories),
+                    "test_pins": soc.test_pins,
+                    "power_budget": soc.power_budget,
+                    "total_gates": soc.total_gates,
+                    "memory_bits": soc.total_memory_bits,
+                    "soc_text": soc_to_text(soc),
+                }
+                for soc in socs
+            ],
+        }, indent=2, sort_keys=True) + "\n"
+        if args.out:
+            with open(args.out, "w") as handle:
+                handle.write(text)
+            print(f"wrote {len(socs)} SOC(s) to {args.out}")
+        else:
+            print(text, end="")
+        return 0
+    # .soc text: one document per chip — concatenating them would merge
+    # into a single mis-parsed chip, so count > 1 writes one file each
+    if len(socs) > 1 and not args.out:
+        raise SystemExit(
+            "--count > 1 needs --json (one document) or --out "
+            "(one .soc file per chip)"
+        )
+    if args.out:
+        from pathlib import Path
+
+        out = Path(args.out)
+        written = []
+        for index, soc in enumerate(socs):
+            path = (
+                args.out if len(socs) == 1
+                else str(out.with_name(f"{out.stem}_{index}{out.suffix}"))
+            )
+            with open(path, "w") as handle:
+                handle.write(soc_to_text(soc))
+            written.append(path)
+        print(f"wrote {len(socs)} SOC(s) to {', '.join(written)}")
+        for soc in socs:
+            print(f"  {soc.describe()}")
+    else:
+        print(soc_to_text(socs[0]), end="")
+    return 0
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    """Differential fuzzing: every strategy over a generated corpus,
+    every schedule invariant-checked, every chip round-tripped through
+    the ITC'02 writer/parser.  Exit 1 on any violation."""
+    from repro.core import CompileBist, FlowContext, SteacConfig
+    from repro.gen import roundtrip_errors, scenarios
+    from repro.sched import (
+        InfeasibleScheduleError,
+        available_strategies,
+        resolve_schedule,
+        schedule_lower_bound,
+    )
+    from repro.util import Table
+    from repro.verify import verify_schedule
+
+    strategies = list(args.strategies or available_strategies())
+    scenario_docs: list[dict] = []
+    violation_count = 0
+    corpus = scenarios(args.seeds, profiles=(args.profile,), base_seed=args.seed_base)
+    for scenario in corpus:
+        soc = scenario.soc
+        ctx = FlowContext(soc=soc, config=SteacConfig(compare_strategies=False))
+        CompileBist().run(ctx)
+        bound = schedule_lower_bound(soc, ctx.tasks)
+        rt_errors = roundtrip_errors(soc)
+        violation_count += len(rt_errors)
+        doc = {
+            "soc": soc.name,
+            "seed": scenario.seed,
+            "tasks": len(ctx.tasks),
+            "lower_bound": bound,
+            "roundtrip_ok": not rt_errors,
+            "roundtrip_errors": rt_errors,
+            "strategies": {},
+        }
+        for strategy in strategies:
+            if strategy == "ilp" and len(ctx.tasks) > args.ilp_max_tasks:
+                doc["strategies"][strategy] = {"skipped": f"> {args.ilp_max_tasks} tasks"}
+                continue
+            try:
+                result = resolve_schedule(strategy, soc, ctx.tasks)
+            except InfeasibleScheduleError as exc:
+                violation_count += 1
+                doc["strategies"][strategy] = {"infeasible": str(exc)}
+                continue
+            except ImportError as exc:
+                # an optional dependency (scipy for "ilp") is absent —
+                # not a scheduling violation, skip like the pipeline does
+                doc["strategies"][strategy] = {"skipped": f"optional dependency: {exc}"}
+                continue
+            report = verify_schedule(soc, result, tasks=ctx.tasks)
+            violation_count += len(report.errors)
+            doc["strategies"][strategy] = {
+                "total_time": result.total_time,
+                "sessions": result.session_count,
+                "ok": report.ok,
+                "violations": [v.to_dict() for v in report.violations],
+            }
+        scenario_docs.append(doc)
+    ok = violation_count == 0
+    if args.json:
+        print(json.dumps(
+            {
+                "schema": "repro/fuzz-report/v1",
+                "profile": args.profile,
+                "seed_base": args.seed_base,
+                "seeds": args.seeds,
+                "strategies": strategies,
+                "ok": ok,
+                "violation_count": violation_count,
+                "scenarios": scenario_docs,
+            },
+            indent=2, sort_keys=True,
+        ))
+        return 0 if ok else 1
+    table = Table(
+        ["SOC", "Tasks", "LB"] + strategies + ["Roundtrip"],
+        title=f"differential fuzz: {args.seeds} x {args.profile!r} seeds "
+        f"{args.seed_base}..{args.seed_base + args.seeds - 1}",
+    )
+    for doc in scenario_docs:
+        row = [doc["soc"], doc["tasks"], doc["lower_bound"]]
+        for strategy in strategies:
+            cell = doc["strategies"][strategy]
+            if "skipped" in cell:
+                row.append("skip")
+            elif "infeasible" in cell:
+                row.append("INFEASIBLE")
+            else:
+                row.append(cell["total_time"] if cell["ok"] else "VIOLATED")
+        row.append("ok" if doc["roundtrip_ok"] else "FAIL")
+        table.add_row(row)
+    print(table.render())
+    verdict = "clean" if ok else f"{violation_count} violations"
+    print(f"\n{len(scenario_docs)} SOCs x {len(strategies)} strategies: {verdict}")
+    if not ok:
+        for doc in scenario_docs:
+            for strategy, cell in doc["strategies"].items():
+                for violation in cell.get("violations", []):
+                    if violation["severity"] == "error":
+                        print(f"  {doc['soc']} [{strategy}] {violation['rule']}"
+                              f"({violation['subject']}): {violation['message']}")
+                if "infeasible" in cell:
+                    print(f"  {doc['soc']} [{strategy}] infeasible: {cell['infeasible']}")
+            for error in doc["roundtrip_errors"]:
+                print(f"  {doc['soc']} [roundtrip] {error}")
+        print(f"reproduce a chip with: python -m repro generate "
+              f"--profile {args.profile} --seed <seed>")
+    return 0 if ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     strategies = _strategy_choices()
     parser = argparse.ArgumentParser(
@@ -317,6 +525,8 @@ def main(argv: list[str] | None = None) -> int:
                          help="scheduling strategy (registry name)")
     p_batch.add_argument("--json", action="store_true",
                          help="emit the machine-readable batch result")
+    p_batch.add_argument("--verify", action="store_true",
+                         help="invariant-check every schedule (exit 1 on violations)")
     p_batch.set_defaults(func=_cmd_batch)
 
     p_march = sub.add_parser("march", help="list the March algorithm library")
@@ -368,6 +578,38 @@ def main(argv: list[str] | None = None) -> int:
         "strategies", help="list registered scheduling strategies and repair allocators"
     )
     p_strat.set_defaults(func=_cmd_strategies)
+
+    profiles = _profile_choices()
+    p_gen = sub.add_parser(
+        "generate", help="generate synthetic SOCs (repro.gen), in .soc format"
+    )
+    p_gen.add_argument("--seed", type=int, default=0, help="generator seed")
+    p_gen.add_argument("--profile", choices=profiles, default="small",
+                       help="size/shape profile (registry name)")
+    p_gen.add_argument("--count", type=int, default=1,
+                       help="chips to emit (stream indices 0..count-1)")
+    p_gen.add_argument("--out", metavar="FILE", help="write .soc text to FILE")
+    p_gen.add_argument("--json", action="store_true",
+                       help="emit a machine-readable document instead of .soc text")
+    p_gen.set_defaults(func=_cmd_generate)
+
+    p_fuzz = sub.add_parser(
+        "fuzz", help="differentially fuzz every scheduler over generated SOCs"
+    )
+    p_fuzz.add_argument("--seeds", type=int, default=20,
+                        help="number of generated chips (one seed each)")
+    p_fuzz.add_argument("--seed-base", type=int, default=0,
+                        help="first seed of the corpus")
+    p_fuzz.add_argument("--profile", choices=profiles, default="tiny",
+                        help="generator profile for the corpus")
+    p_fuzz.add_argument("--strategies", nargs="*", choices=strategies, default=None,
+                        metavar="STRATEGY",
+                        help="strategies to race (default: every registered one)")
+    p_fuzz.add_argument("--ilp-max-tasks", type=int, default=6,
+                        help="skip the exact MILP above this task count")
+    p_fuzz.add_argument("--json", action="store_true",
+                        help="emit the machine-readable fuzz report")
+    p_fuzz.set_defaults(func=_cmd_fuzz)
 
     args = parser.parse_args(argv)
     return args.func(args)

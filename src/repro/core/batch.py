@@ -47,12 +47,21 @@ class BatchItem:
     def ok(self) -> bool:
         return self.result is not None
 
+    @property
+    def verification_ok(self) -> Optional[bool]:
+        """Invariant-check outcome: True/False when the flow ran with
+        ``verify_schedule``, None when it did not (or the item failed)."""
+        if self.result is None or self.result.verification is None:
+            return None
+        return self.result.verification.ok
+
     def to_dict(self) -> dict:
         return {
             "index": self.index,
             "soc_name": self.soc_name,
             "ok": self.ok,
             "error": self.error,
+            "verification_ok": self.verification_ok,
             "result": self.result.to_dict() if self.result else None,
         }
 
@@ -73,7 +82,12 @@ class BatchResult:
 
     @property
     def ok(self) -> bool:
-        return all(item.ok for item in self.items)
+        """Everything requested succeeded: every item integrated AND,
+        when invariant verification ran, every report is clean.  The
+        JSON document's ``ok`` and the CLI exit code carry the same
+        value; see :attr:`failures` / :attr:`verified_ok` for which
+        half went wrong."""
+        return all(item.ok for item in self.items) and self.verified_ok
 
     @property
     def results(self) -> list[IntegrationResult]:
@@ -83,6 +97,12 @@ class BatchResult:
     @property
     def failures(self) -> list[BatchItem]:
         return [item for item in self.items if not item.ok]
+
+    @property
+    def verified_ok(self) -> bool:
+        """True when every completed item's invariant check (if run) is
+        clean — the batch-level gate ``repro batch --verify`` exits on."""
+        return all(item.verification_ok is not False for item in self.items)
 
     def to_dict(self) -> dict:
         return {
@@ -98,22 +118,35 @@ class BatchResult:
 
     def render(self) -> str:
         """One-line-per-SOC batch summary table."""
+        verified = any(item.verification_ok is not None for item in self.items)
+        columns = ["#", "SOC", "Status", "Total test time", "Sessions"]
+        if verified:
+            columns.append("Invariants")
         table = Table(
-            ["#", "SOC", "Status", "Total test time", "Sessions"],
+            columns,
             title=f"batch integration: {len(self.items)} SOCs, "
             f"{self.workers} workers, {self.elapsed_seconds:.2f} s",
         )
         for item in self.items:
             if item.result is not None:
-                table.add_row([
+                row = [
                     item.index,
                     item.soc_name,
                     "ok",
                     format_cycles(item.result.total_test_time),
                     item.result.schedule.session_count,
-                ])
+                ]
             else:
-                table.add_row([item.index, item.soc_name, f"FAILED: {item.error}", "-", "-"])
+                row = [item.index, item.soc_name, f"FAILED: {item.error}", "-", "-"]
+            if verified:
+                status = item.verification_ok
+                if status is None:
+                    row.append("-")
+                elif status:
+                    row.append("clean")
+                else:
+                    row.append(f"{len(item.result.verification.errors)} violations")
+            table.add_row(row)
         return table.render()
 
 

@@ -45,6 +45,7 @@ from repro.wrapper.generator import GeneratedWrapper, generate_wrapper
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.repair.analysis import RepairAnalysis
+    from repro.verify.report import VerificationReport
 
 #: Strategies run by ``compare_strategies`` when the config does not name
 #: its own set.  The MILP is deliberately absent — it is minutes, not
@@ -80,6 +81,7 @@ class FlowContext:
     controller_module: Optional[Module] = None
     tam_module: Optional[Module] = None
     programs: dict[str, AteProgram] = field(default_factory=dict)
+    verification: Optional["VerificationReport"] = None
     stage_seconds: dict[str, float] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -235,13 +237,7 @@ class InsertDft(Stage):
         soc = ctx.soc
         schedule = ctx.schedule
         netlist = Netlist()
-        widths: dict[str, int] = {}
-        for session in schedule.sessions:
-            for test in session.tests:
-                if test.task.is_scan:
-                    widths[test.task.core_name] = max(
-                        widths.get(test.task.core_name, 1), test.width
-                    )
+        widths = schedule.scheduled_widths()
         for core in soc.wrapped_cores:
             ctx.wrappers[core.name] = generate_wrapper(
                 core, netlist, width=widths.get(core.name, 1)
@@ -412,11 +408,13 @@ class TranslatePatterns(Stage):
                 )
 
 
-def default_stages(repair: bool = False) -> list[Stage]:
+def default_stages(repair: bool = False, verify: bool = False) -> list[Stage]:
     """The paper's Fig.-1 flow, in order.
 
     ``repair=True`` inserts the optional ``analyze_repair`` stage
-    (memory diagnosis & repair, :mod:`repro.repair`) right after BRAINS.
+    (memory diagnosis & repair, :mod:`repro.repair`) right after BRAINS;
+    ``verify=True`` appends the ``verify`` stage (invariant checking,
+    :mod:`repro.verify`) after the Pattern Translator.
     """
     stages: list[Stage] = [
         ParseStil(), CompileBist(), Schedule(), InsertDft(), TranslatePatterns(),
@@ -425,6 +423,10 @@ def default_stages(repair: bool = False) -> list[Stage]:
         from repro.repair.analysis import AnalyzeRepair
 
         stages.insert(2, AnalyzeRepair())
+    if verify:
+        from repro.verify.stage import VerifySchedule
+
+        stages.append(VerifySchedule())
     return stages
 
 
@@ -447,6 +449,11 @@ class Pipeline:
     def with_repair(cls) -> "Pipeline":
         """The default flow plus memory repair analysis after BRAINS."""
         return cls(default_stages(repair=True))
+
+    @classmethod
+    def with_verify(cls) -> "Pipeline":
+        """The default flow plus invariant verification at the end."""
+        return cls(default_stages(verify=True))
 
     @property
     def stage_names(self) -> list[str]:

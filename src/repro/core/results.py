@@ -7,8 +7,9 @@ and CI can consume integration outcomes without scraping ASCII tables —
 the reproducibility posture argued by SAIBERSOC (Rosso et al., 2020) and
 "Testing SOAR Tools in Use" (Bridges et al., 2022).
 
-Schema (``schema`` = ``"repro/integration-result/v2"``; documented in
-``ARCHITECTURE.md``)::
+Schema (``schema`` = ``"repro/integration-result/v3"``; documented in
+``ARCHITECTURE.md``; golden-file regression fixtures live in
+``tests/golden/``)::
 
     soc            {name, cores, memories, test_pins, total_gates,
                     memory_bits, power_budget}
@@ -24,15 +25,19 @@ Schema (``schema`` = ``"repro/integration-result/v2"``; documented in
                            monte_carlo: {trials, seed, allocator, ...,
                                          raw_yield, repair_rate,
                                          effective_yield}}
+    verification   null | {soc, strategy, ok, rules_checked,
+                           violations: [{rule, subject, message, severity}]}
     wrappers       {core: {wbc_count, area_gates}}
     tam            {width, slots: [{session, core, task, wires}]}
     dft_area       {chip_gates, overhead_percent, items: [{name, gates}]}
     programs       {name: {cycles, pins}}
     runtime_seconds, stage_seconds
 
-v2 is a strict superset of v1: it adds the nullable ``repair`` key (and
-a "BISR" line in ``dft_area.items`` when repair analysis ran); every v1
-key is unchanged, so v1 consumers that ignore unknown keys keep working.
+v2 added the nullable ``repair`` key (and a "BISR" line in
+``dft_area.items`` when repair analysis ran) on top of v1; v3 adds the
+nullable ``verification`` key (populated when the flow ran with
+``SteacConfig.verify_schedule``).  Each version is a strict superset of
+the previous one, so consumers that ignore unknown keys keep working.
 
 All values are JSON types, so ``json.loads(r.to_json()) == r.to_dict()``
 round-trips exactly.
@@ -55,9 +60,10 @@ from repro.wrapper.generator import GeneratedWrapper
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.repair.analysis import RepairAnalysis
+    from repro.verify.report import VerificationReport
 
-RESULT_SCHEMA = "repro/integration-result/v2"
-BATCH_SCHEMA = "repro/batch-result/v1"
+RESULT_SCHEMA = "repro/integration-result/v3"
+BATCH_SCHEMA = "repro/batch-result/v2"
 
 
 @dataclass
@@ -75,6 +81,7 @@ class IntegrationResult:
     tam_module: Module
     programs: dict[str, AteProgram] = field(default_factory=dict)
     repair: Optional["RepairAnalysis"] = None
+    verification: Optional["VerificationReport"] = None
     runtime_seconds: float = 0.0
     stage_seconds: dict[str, float] = field(default_factory=dict)
 
@@ -93,6 +100,7 @@ class IntegrationResult:
             tam_module=ctx.tam_module,
             programs=ctx.programs,
             repair=ctx.repair,
+            verification=ctx.verification,
             runtime_seconds=runtime_seconds,
             stage_seconds=dict(ctx.stage_seconds),
         )
@@ -140,6 +148,7 @@ class IntegrationResult:
             "comparison": dict(self.comparison),
             "bist": self.bist_engine.to_dict() if self.bist_engine else None,
             "repair": self.repair.to_dict() if self.repair else None,
+            "verification": self.verification.to_dict() if self.verification else None,
             "wrappers": {
                 name: {
                     "wbc_count": wrapper.wbc_count,
@@ -198,6 +207,9 @@ class IntegrationResult:
             lines.append("")
         if self.repair is not None:
             lines.append(self.repair.render())
+            lines.append("")
+        if self.verification is not None:
+            lines.append(self.verification.render())
             lines.append("")
         lines.append(self.dft_area_report.render())
         lines.append(

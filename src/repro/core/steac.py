@@ -24,7 +24,7 @@ from typing import Optional, Sequence
 
 from repro.bist.march import MARCH_C_MINUS, MarchTest
 from repro.core.batch import BatchResult, integrate_many
-from repro.core.pipeline import FlowContext, Pipeline
+from repro.core.pipeline import FlowContext, Pipeline, default_stages
 from repro.core.results import IntegrationResult
 from repro.patterns.core_patterns import CorePatternSet
 from repro.sched.ioalloc import SharingPolicy
@@ -64,6 +64,13 @@ class SteacConfig:
         repair_allocator: allocation solver, resolved by name through
             :mod:`repro.repair.registry` ("greedy" or "exact", or
             anything registered by a plugin).
+        verify_schedule: append the invariant-verification stage
+            (:mod:`repro.verify`) to the flow — the report lands in
+            ``IntegrationResult.verification`` (and the JSON document's
+            ``verification`` section).
+        verify_strict: escalate verification errors to
+            :class:`repro.verify.InvariantViolationError` (batch runs
+            then surface the chip as a failed item).
     """
 
     march: MarchTest = MARCH_C_MINUS
@@ -77,6 +84,8 @@ class SteacConfig:
     repair_trials: int = 200
     repair_seed: int = 7
     repair_allocator: str = "greedy"
+    verify_schedule: bool = False
+    verify_strict: bool = False
 
 
 class Steac:
@@ -124,9 +133,10 @@ class Steac:
         started = time.perf_counter()
         ctx = self.context(soc, stil_texts, pattern_data)
         if pipeline is None:
-            pipeline = (
-                Pipeline.with_repair() if self.config.analyze_repair else Pipeline.default()
-            )
+            pipeline = Pipeline(default_stages(
+                repair=self.config.analyze_repair,
+                verify=self.config.verify_schedule,
+            ))
         pipeline.run(ctx)
         return IntegrationResult.from_context(
             ctx, runtime_seconds=time.perf_counter() - started

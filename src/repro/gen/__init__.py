@@ -1,0 +1,42 @@
+"""Synthetic SOC workload generation (the SAIBERSOC posture for STEAC).
+
+Seeded, profile-driven generation of valid :class:`repro.soc.Soc`
+instances, an ITC'02 ``.soc`` writer that round-trips through the
+existing parser, and a corpus API yielding reproducible scenario
+streams — the substrate the differential fuzz harness
+(``python -m repro fuzz``), the property-based tests, and the scaling
+benchmarks all draw from.
+"""
+
+from repro.gen.corpus import DEFAULT_PROFILES, Scenario, scenarios
+from repro.gen.generator import SocGenerator, generate_soc
+from repro.gen.profiles import (
+    GenProfile,
+    available_profiles,
+    get_profile,
+    register_profile,
+)
+from repro.gen.writer import (
+    core_to_module,
+    roundtrip_errors,
+    roundtrips,
+    soc_to_modules,
+    soc_to_text,
+)
+
+__all__ = [
+    "DEFAULT_PROFILES",
+    "GenProfile",
+    "Scenario",
+    "SocGenerator",
+    "available_profiles",
+    "core_to_module",
+    "generate_soc",
+    "get_profile",
+    "register_profile",
+    "roundtrip_errors",
+    "roundtrips",
+    "scenarios",
+    "soc_to_modules",
+    "soc_to_text",
+]

@@ -6,6 +6,12 @@ All strategies resolve by name through :mod:`repro.sched.registry`
 (``session`` / ``nonsession`` / ``serial`` / ``ilp``); use
 :func:`register_scheduler` to plug in new ones."""
 
+from repro.sched.bounds import (
+    schedule_lower_bound,
+    task_floor_time,
+    task_width_cap,
+    task_wire_cycles_floor,
+)
 from repro.sched.ioalloc import (
     BIST_PORT_PINS,
     SharingPolicy,
@@ -44,6 +50,10 @@ from repro.sched.timecalc import (
 
 __all__ = [
     "BIST_PORT_PINS",
+    "schedule_lower_bound",
+    "task_floor_time",
+    "task_width_cap",
+    "task_wire_cycles_floor",
     "SharingPolicy",
     "control_pins",
     "data_pins_available",

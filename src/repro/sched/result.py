@@ -162,6 +162,19 @@ class ScheduleResult:
             ],
         }
 
+    def scheduled_widths(self) -> dict[str, int]:
+        """Per-core maximum assigned scan width — the width Test
+        Insertion generates each wrapper for, and the width the
+        verifier checks wrappers against (one definition, shared)."""
+        widths: dict[str, int] = {}
+        for session in self.sessions:
+            for test in session.tests:
+                if test.task.is_scan:
+                    widths[test.task.core_name] = max(
+                        widths.get(test.task.core_name, 1), test.width
+                    )
+        return widths
+
     def render(self) -> str:
         """ASCII schedule report."""
         table = Table(

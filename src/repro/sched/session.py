@@ -208,15 +208,35 @@ def schedule_sessions(
 ) -> ScheduleResult:
     """Session-based schedule for ``tasks`` on ``soc``.
 
-    When ``n_sessions`` is None, session counts 1..min(#tasks,
-    ``max_sessions``) are searched and the best feasible result returned.
+    When ``n_sessions`` is None, a window of ``max_sessions`` candidate
+    session counts is searched, starting at the mutex-forced floor
+    (functional tests serialize on the chip's functional interface,
+    BIST groups on the engine, a core's tests on the core) and capped
+    at the task count — ``floor .. min(#tasks, floor + max_sessions - 1)``.
+    For small chips (floor 1) this is the classic ``1 .. max_sessions``
+    search; large chips with many functional tests start higher and
+    stay schedulable.  ``max_sessions`` sizes the search window — it is
+    not a hard cap on the returned session count; pass ``n_sessions``
+    to pin the count exactly.  The best feasible result is returned.
     """
     if not tasks:
         return ScheduleResult(soc_name=soc.name, strategy="session-based",
                               pin_budget=soc.test_pins)
-    candidates = (
-        [n_sessions] if n_sessions is not None else list(range(1, min(len(tasks), max_sessions) + 1))
-    )
+    if n_sessions is not None:
+        candidates = [n_sessions]
+    else:
+        per_core: dict[str, int] = {}
+        for t in tasks:
+            per_core[t.core_name] = per_core.get(t.core_name, 0) + 1
+        forced = max(
+            1,
+            sum(1 for t in tasks if t.uses_functional_pins),
+            sum(1 for t in tasks if t.uses_bist_port),
+            max(per_core.values()),
+        )
+        # a window of max_sessions candidate counts starting at the floor
+        # (degenerates to the classic 1..max_sessions for small chips)
+        candidates = list(range(forced, min(len(tasks), forced + max_sessions - 1) + 1))
     best_sessions: Optional[list[Session]] = None
     best_total: Optional[int] = None
     for k in candidates:

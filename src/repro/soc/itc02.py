@@ -52,8 +52,18 @@ def parse_soc_file(text: str) -> list[Itc02Module]:
         Module <name> Inputs <n> Outputs <n> Bidirs <n> \
             ScanChains <k> <l1> ... <lk> Patterns <p>
 
-    Returns the module list in file order.
+    Returns the module list in file order (``SocName`` is ignored; use
+    :func:`parse_soc` to capture it too).
     """
+    return parse_soc(text)[1]
+
+
+def parse_soc(text: str) -> tuple[str | None, list[Itc02Module]]:
+    """Parse a ``.soc`` file, returning ``(soc_name, modules)``.
+
+    ``soc_name`` is ``None`` when the file has no ``SocName`` directive.
+    """
+    soc_name: str | None = None
     modules: list[Itc02Module] = []
     for raw_line in text.splitlines():
         line = raw_line.split("#", 1)[0].strip()
@@ -62,6 +72,7 @@ def parse_soc_file(text: str) -> list[Itc02Module]:
         tokens = line.split()
         keyword = tokens[0]
         if keyword == "SocName":
+            soc_name = tokens[1] if len(tokens) > 1 else None
             continue
         if keyword != "Module":
             raise ValueError(f"unrecognized ITC'02 directive: {keyword!r}")
@@ -90,7 +101,38 @@ def parse_soc_file(text: str) -> list[Itc02Module]:
                 patterns=int(fields.get("Patterns", ["0"])[0]),
             )
         )
-    return modules
+    return soc_name, modules
+
+
+def modules_to_text(name: str, modules: list[Itc02Module]) -> str:
+    """Render modules in the ``.soc`` exchange format (the inverse of
+    :func:`parse_soc`: ``parse_soc(modules_to_text(n, ms)) == (n, ms)``)."""
+    lines = [f"SocName {name}"]
+    for module in modules:
+        chain_part = ""
+        if module.scan_chain_lengths:
+            lengths = " ".join(str(l) for l in module.scan_chain_lengths)
+            chain_part = f" ScanChains {len(module.scan_chain_lengths)} {lengths}"
+        lines.append(
+            f"Module {module.name} Inputs {module.inputs} Outputs {module.outputs} "
+            f"Bidirs {module.bidirs}{chain_part} Patterns {module.patterns}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def soc_from_modules(
+    name: str,
+    modules: list[Itc02Module],
+    test_pins: int = 64,
+    power_budget: float = 0.0,
+    power: float = 1.0,
+) -> Soc:
+    """Build a :class:`Soc` from parsed ITC'02 modules (one wrapped core
+    per module, the :func:`module_to_core` convention)."""
+    soc = Soc(name=name, test_pins=test_pins, power_budget=power_budget)
+    for module in modules:
+        soc.add_core(module_to_core(module, power=power))
+    return soc
 
 
 def module_to_core(module: Itc02Module, power: float = 1.0) -> Core:
@@ -169,23 +211,12 @@ def d695_modules() -> list[Itc02Module]:
 
 def d695_soc(test_pins: int = 64, power_budget: float = 0.0) -> Soc:
     """Build the d695 benchmark as a :class:`repro.soc.Soc`."""
-    soc = Soc(name="d695", test_pins=test_pins, power_budget=power_budget)
-    for module in d695_modules():
-        soc.add_core(module_to_core(module))
-    return soc
+    return soc_from_modules(
+        "d695", d695_modules(), test_pins=test_pins, power_budget=power_budget
+    )
 
 
 def d695_soc_text() -> str:
     """The d695 instance rendered in our ``.soc`` exchange format (useful
     for round-trip tests and as a format example)."""
-    lines = ["SocName d695"]
-    for module in d695_modules():
-        chain_part = ""
-        if module.scan_chain_lengths:
-            lengths = " ".join(str(l) for l in module.scan_chain_lengths)
-            chain_part = f" ScanChains {len(module.scan_chain_lengths)} {lengths}"
-        lines.append(
-            f"Module {module.name} Inputs {module.inputs} Outputs {module.outputs} "
-            f"Bidirs {module.bidirs}{chain_part} Patterns {module.patterns}"
-        )
-    return "\n".join(lines) + "\n"
+    return modules_to_text("d695", d695_modules())

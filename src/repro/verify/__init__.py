@@ -1,0 +1,38 @@
+"""Schedule-invariant verification (the platform's machine-checkable
+correctness oracle).
+
+``verify_schedule`` validates any :class:`~repro.sched.ScheduleResult`
+— resource mutexes, power ceiling, pin budget, session structure, and
+makespan against the computable lower bound
+(:mod:`repro.sched.bounds`) — returning a structured
+:class:`VerificationReport`.  ``verify_integration`` extends the check
+to wrapper/chain-balance and pattern-translation consistency; the
+``VerifySchedule`` pipeline stage wires it into the STEAC flow, and the
+CLI ``fuzz`` command differentially applies it to every registered
+strategy over generated SOC corpora.
+"""
+
+from repro.verify.consistency import (
+    check_flow_artifacts,
+    check_program_cycles,
+    check_wrapper_plan,
+    scheduled_widths,
+    verify_integration,
+)
+from repro.verify.invariants import policy_for_strategy, verify_schedule
+from repro.verify.report import Violation, VerificationReport
+from repro.verify.stage import InvariantViolationError, VerifySchedule
+
+__all__ = [
+    "InvariantViolationError",
+    "VerificationReport",
+    "VerifySchedule",
+    "Violation",
+    "check_flow_artifacts",
+    "check_program_cycles",
+    "check_wrapper_plan",
+    "policy_for_strategy",
+    "scheduled_widths",
+    "verify_integration",
+    "verify_schedule",
+]

@@ -1,0 +1,52 @@
+"""The ``verify`` pipeline stage: invariant-check a flow's artifacts.
+
+Appended to the default flow by ``SteacConfig(verify_schedule=True)``
+(or ``Pipeline.with_verify()``), after the Pattern Translator: by then
+the context holds the schedule, the generated wrappers, and any
+translated programs, so the full consistency surface is checkable.  The
+report lands in ``ctx.verification`` (→ ``IntegrationResult`` and the
+JSON document); ``verify_strict=True`` escalates an unclean report to
+:class:`InvariantViolationError`, which batch runs surface as a failed
+item.
+"""
+
+from __future__ import annotations
+
+from repro.core.pipeline import FlowContext, Stage
+from repro.verify.consistency import check_flow_artifacts
+from repro.verify.invariants import verify_schedule
+
+
+class InvariantViolationError(AssertionError):
+    """A strict verification run found invariant violations."""
+
+    def __init__(self, report):
+        self.report = report
+        summary = "; ".join(
+            f"{v.rule}({v.subject}): {v.message}" for v in report.errors[:3]
+        )
+        extra = len(report.errors) - 3
+        if extra > 0:
+            summary += f"; +{extra} more"
+        super().__init__(
+            f"schedule for {report.soc_name!r} violates invariants — {summary}"
+        )
+
+
+class VerifySchedule(Stage):
+    """Invariant-check everything the flow produced so far."""
+
+    name = "verify"
+
+    def execute(self, ctx: FlowContext) -> None:
+        ctx.require("schedule")
+        report = verify_schedule(
+            ctx.soc, ctx.schedule, tasks=ctx.tasks or None
+        )
+        check_flow_artifacts(
+            ctx.soc, ctx.schedule, ctx.wrappers, ctx.programs,
+            ctx.pattern_data, report,
+        )
+        ctx.verification = report
+        if getattr(ctx.config, "verify_strict", False) and not report.ok:
+            raise InvariantViolationError(report)

@@ -155,6 +155,28 @@ class WrapperPlan:
         return sum(c.input_cells + c.output_cells for c in self.chains)
 
 
+def wrapper_cell_counts(core: Core) -> tuple[int, int]:
+    """(input cells, output cells) a wrapper needs for ``core``.
+
+    One cell per functional bit; INOUT pads get an output-side
+    observation cell only (their drive side rides the mission
+    interconnect) — the same accounting
+    :func:`repro.wrapper.generator.generate_wrapper` stitches, so plans
+    and generated netlists always agree.
+    """
+    from repro.soc.ports import Direction, SignalKind
+
+    n_in = n_out = 0
+    for port in core.ports:
+        if port.kind is not SignalKind.FUNCTIONAL:
+            continue
+        if port.direction is Direction.IN:
+            n_in += port.width
+        else:
+            n_out += port.width
+    return n_in, n_out
+
+
 def design_wrapper(core: Core, width: int, exact: bool = False) -> WrapperPlan:
     """Build a balanced wrapper plan for ``core`` with ``width`` TAM wires.
 
@@ -164,9 +186,7 @@ def design_wrapper(core: Core, width: int, exact: bool = False) -> WrapperPlan:
     then distributed to equalize scan-in and scan-out depths.
     """
     check_positive(width, "TAM width")
-    counts = core.counts
-    n_in_cells = counts.pi
-    n_out_cells = counts.po
+    n_in_cells, n_out_cells = wrapper_cell_counts(core)
 
     chains = [WrapperChain() for _ in range(width)]
     rebalanced = False

@@ -78,7 +78,7 @@ class TestJsonOutput:
     def test_dsc_json_is_schema_v2(self, capsys):
         assert main(["dsc", "--json"]) == 0
         doc = json.loads(capsys.readouterr().out)
-        assert doc["schema"] == "repro/integration-result/v2"
+        assert doc["schema"] == "repro/integration-result/v3"
         assert doc["soc"]["name"] == "dsc_controller"
         assert doc["schedule"]["total_time"] > 0
         assert doc["schedule"]["sessions"]
@@ -136,8 +136,128 @@ class TestJsonOutput:
         target = tmp_path / "dft.v"
         assert main(["dsc", "--json", "--verilog", str(target)]) == 0
         doc = json.loads(capsys.readouterr().out)  # would raise on extra prose
-        assert doc["schema"] == "repro/integration-result/v2"
+        assert doc["schema"] == "repro/integration-result/v3"
         assert "endmodule" in target.read_text()
+
+
+class TestGenerateCommand:
+    def test_soc_text_output(self, capsys):
+        assert main(["generate", "--seed", "7", "--profile", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("SocName gen_tiny_s7_0")
+        assert "Module c0" in out
+
+    def test_text_parses_back(self, capsys):
+        from repro.soc.itc02 import parse_soc
+
+        assert main(["generate", "--seed", "3", "--profile", "small"]) == 0
+        name, modules = parse_soc(capsys.readouterr().out)
+        assert name == "gen_small_s3_0" and modules
+
+    def test_json_shape(self, capsys):
+        assert main(["generate", "--seed", "2", "--profile", "tiny",
+                     "--count", "2", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "repro/generated-soc/v1"
+        assert doc["profile"] == "tiny" and doc["seed"] == 2
+        assert len(doc["socs"]) == 2
+        for soc in doc["socs"]:
+            assert soc["cores"] >= 2 and soc["test_pins"] > 0
+            assert soc["soc_text"].startswith("SocName ")
+
+    def test_out_file(self, capsys, tmp_path):
+        target = tmp_path / "chip.soc"
+        assert main(["generate", "--seed", "1", "--out", str(target)]) == 0
+        assert target.read_text().startswith("SocName gen_small_s1_0")
+        assert "wrote 1 SOC(s)" in capsys.readouterr().out
+
+    def test_multi_count_text_writes_one_file_per_chip(self, capsys, tmp_path):
+        """Concatenated .soc documents would mis-parse as one chip, so
+        each chip gets its own file."""
+        from repro.soc.itc02 import parse_soc
+
+        target = tmp_path / "corpus.soc"
+        assert main(["generate", "--seed", "1", "--profile", "tiny",
+                     "--count", "2", "--out", str(target)]) == 0
+        for index in range(2):
+            path = tmp_path / f"corpus_{index}.soc"
+            name, modules = parse_soc(path.read_text())
+            assert name == f"gen_tiny_s1_{index}" and modules
+
+    def test_multi_count_text_to_stdout_rejected(self):
+        with pytest.raises(SystemExit, match="--json"):
+            main(["generate", "--seed", "1", "--count", "2"])
+
+    def test_json_out_writes_file(self, tmp_path, capsys):
+        target = tmp_path / "gen.json"
+        assert main(["generate", "--seed", "2", "--json", "--out", str(target)]) == 0
+        doc = json.loads(target.read_text())
+        assert doc["schema"] == "repro/generated-soc/v1"
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["generate", "--profile", "gigantic"])
+
+    def test_determinism_across_invocations(self, capsys):
+        assert main(["generate", "--seed", "9"]) == 0
+        first = capsys.readouterr().out
+        assert main(["generate", "--seed", "9"]) == 0
+        assert capsys.readouterr().out == first
+
+
+class TestFuzzCommand:
+    def test_clean_run_exit_zero(self, capsys):
+        assert main(["fuzz", "--seeds", "3", "--profile", "tiny",
+                     "--strategies", "session", "serial"]) == 0
+        out = capsys.readouterr().out
+        assert "differential fuzz" in out
+        assert "clean" in out
+
+    def test_json_report_shape(self, capsys):
+        assert main(["fuzz", "--seeds", "2", "--profile", "tiny",
+                     "--strategies", "session", "serial", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "repro/fuzz-report/v1"
+        assert doc["ok"] is True and doc["violation_count"] == 0
+        assert doc["seeds"] == 2 and len(doc["scenarios"]) == 2
+        scenario = doc["scenarios"][0]
+        assert scenario["roundtrip_ok"] is True
+        assert scenario["lower_bound"] > 0
+        for cell in scenario["strategies"].values():
+            assert cell["ok"] is True
+            assert cell["total_time"] >= scenario["lower_bound"]
+
+    def test_ilp_gated_by_task_count(self, capsys):
+        assert main(["fuzz", "--seeds", "2", "--profile", "small",
+                     "--strategies", "ilp", "--ilp-max-tasks", "0", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        for scenario in doc["scenarios"]:
+            assert "skipped" in scenario["strategies"]["ilp"]
+
+    def test_violations_set_exit_code(self, capsys):
+        """A deliberately broken plugin strategy must be caught and turn
+        the exit code — the differential harness's whole point."""
+        from repro.sched import SharingPolicy
+        from repro.sched.registry import _REGISTRY, register_scheduler
+        from repro.sched.session import schedule_serial
+
+        @register_scheduler("lossy")
+        def lossy(soc, tasks, *, n_sessions=None, policy=None):
+            return schedule_serial(soc, tasks[1:], policy=policy or SharingPolicy())
+
+        try:
+            assert main(["fuzz", "--seeds", "2", "--profile", "tiny",
+                         "--strategies", "lossy"]) == 1
+            out = capsys.readouterr().out
+            assert "VIOLATED" in out
+            assert "task-coverage" in out
+            assert "reproduce a chip with" in out
+        finally:
+            _REGISTRY.pop("lossy", None)
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fuzz", "--seeds", "1", "--strategies", "magic"])
 
 
 class TestBatchCommand:
@@ -150,7 +270,7 @@ class TestBatchCommand:
     def test_batch_json(self, capsys):
         assert main(["batch", "dsc:24", "dsc:28", "--json"]) == 0
         doc = json.loads(capsys.readouterr().out)
-        assert doc["schema"] == "repro/batch-result/v1"
+        assert doc["schema"] == "repro/batch-result/v2"
         assert doc["ok"] is True
         assert len(doc["items"]) == 2
         assert [i["index"] for i in doc["items"]] == [0, 1]
@@ -158,6 +278,29 @@ class TestBatchCommand:
     def test_batch_failure_sets_exit_code(self, capsys):
         assert main(["batch", "dsc:28", "dsc:6"]) == 1
         assert "FAILED" in capsys.readouterr().out
+
+    def test_generated_spec_and_verify_flag(self, capsys):
+        assert main(["batch", "gen-tiny-3", "gen-tiny-4:64", "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "gen_tiny_s3_0" in out and "gen_tiny_s4_0" in out
+        assert "Invariants" in out and "clean" in out
+
+    def test_generated_spec_json_carries_verification(self, capsys):
+        assert main(["batch", "gen-tiny-5", "--verify", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        verification = doc["items"][0]["result"]["verification"]
+        assert verification["ok"] is True
+        assert "pin-budget" in verification["rules_checked"]
+
+    def test_without_verify_no_report(self, capsys):
+        assert main(["batch", "gen-tiny-5", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["items"][0]["result"]["verification"] is None
+
+    def test_bad_generated_spec_rejected(self):
+        for spec in ("gen-gigantic-3", "gen-tiny-x", "gen-tiny"):
+            with pytest.raises(SystemExit):
+                main(["batch", spec])
 
     def test_bad_spec_rejected(self):
         with pytest.raises(SystemExit):

@@ -1,0 +1,76 @@
+"""Golden-file regression tests for the machine-readable result schemas.
+
+The fixtures under ``tests/golden/`` pin the *exact* JSON documents the
+platform emits for the two reference workloads — the DSC case-study
+chip's integration result (schema v3) and the d695 session schedule
+(schedule-result v1).  Any schema drift — a renamed key, a changed
+number, a reordered session — fails loudly here instead of silently
+breaking downstream consumers.
+
+To intentionally evolve a schema, regenerate the fixture (see each
+test's docstring) and review the diff like any other code change.
+"""
+
+import json
+from pathlib import Path
+
+from repro.__main__ import main
+
+GOLDEN = Path(__file__).parent / "golden"
+
+#: Keys whose values depend on wall clock, normalized before comparison.
+VOLATILE = {"runtime_seconds": 0.0, "stage_seconds": {}}
+
+
+def normalize(doc: dict) -> dict:
+    for key, neutral in VOLATILE.items():
+        if key in doc:
+            doc[key] = neutral
+    return doc
+
+
+def load(name: str) -> dict:
+    with open(GOLDEN / name) as handle:
+        return json.load(handle)
+
+
+class TestDscIntegrationGolden:
+    def test_matches_fixture(self, capsys):
+        """Regenerate with:
+        ``python -m repro dsc --json`` (then normalize runtime keys)."""
+        assert main(["dsc", "--json"]) == 0
+        doc = normalize(json.loads(capsys.readouterr().out))
+        golden = load("dsc_integration.json")
+        assert doc["schema"] == golden["schema"] == "repro/integration-result/v3"
+        # compare section by section for reviewable failure output
+        assert set(doc) == set(golden), "top-level key drift"
+        for key in sorted(golden):
+            assert doc[key] == golden[key], f"section {key!r} drifted"
+
+    def test_fixture_round_trips_as_json(self):
+        text = (GOLDEN / "dsc_integration.json").read_text()
+        assert json.loads(text) == load("dsc_integration.json")
+
+    def test_nullable_sections_null_by_default(self):
+        golden = load("dsc_integration.json")
+        assert golden["repair"] is None
+        assert golden["verification"] is None
+
+
+class TestD695ScheduleGolden:
+    def test_matches_fixture(self, capsys):
+        """Regenerate with: ``python -m repro d695 --pins 48 --json``."""
+        assert main(["d695", "--pins", "48", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        golden = load("d695_schedule.json")
+        assert doc["schema"] == golden["schema"] == "repro/schedule-result/v1"
+        assert set(doc) == set(golden), "top-level key drift"
+        for key in sorted(golden):
+            assert doc[key] == golden[key], f"section {key!r} drifted"
+
+    def test_sessions_carry_placed_tests(self):
+        golden = load("d695_schedule.json")
+        assert golden["session_count"] == len(golden["sessions"]) > 0
+        for session in golden["sessions"]:
+            for test in session["tests"]:
+                assert test["start"] <= test["finish"] <= test["start"] + session["length"]

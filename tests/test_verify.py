@@ -1,0 +1,269 @@
+"""Tests for :mod:`repro.verify`: the invariant checker must accept
+every legal schedule and — just as important — *reject* broken ones."""
+
+import copy
+
+import pytest
+
+from repro.core import CompileBist, FlowContext, Steac, SteacConfig
+from repro.gen import SocGenerator
+from repro.sched import (
+    SharingPolicy,
+    resolve_schedule,
+    schedule_lower_bound,
+    task_floor_time,
+    tasks_from_soc,
+)
+from repro.soc.dsc import build_dsc_chip
+from repro.soc.itc02 import d695_soc
+from repro.verify import (
+    InvariantViolationError,
+    VerificationReport,
+    Violation,
+    policy_for_strategy,
+    verify_integration,
+    verify_schedule,
+)
+
+
+def small_case():
+    soc = SocGenerator(1, "small").generate()
+    ctx = FlowContext(soc=soc)
+    CompileBist().run(ctx)
+    return soc, ctx.tasks
+
+
+class TestReport:
+    def test_clean_report_renders_ok(self):
+        report = VerificationReport(soc_name="x", strategy="s")
+        report.check("core-mutex")
+        assert report.ok
+        assert "OK" in report.render()
+        assert report.to_dict()["rules_checked"] == ["core-mutex"]
+
+    def test_error_flips_ok_warning_does_not(self):
+        report = VerificationReport(soc_name="x")
+        report.add("r", "s", "warn only", severity="warning")
+        assert report.ok and len(report.warnings) == 1
+        report.add("r", "s", "broken")
+        assert not report.ok and len(report.errors) == 1
+        assert "FAIL" in report.render()
+
+    def test_unknown_severity_rejected(self):
+        with pytest.raises(ValueError, match="severity"):
+            Violation("r", "s", "m", severity="fatal")
+
+    def test_merge_folds_rules_and_violations(self):
+        a = VerificationReport(soc_name="x")
+        a.check("one")
+        b = VerificationReport(soc_name="x")
+        b.add("two", "s", "boom")
+        a.merge(b)
+        assert set(a.rules_checked) == {"one", "two"} and not a.ok
+
+
+class TestAcceptsLegalSchedules:
+    @pytest.mark.parametrize("strategy", ["session", "nonsession", "serial"])
+    def test_clean_on_real_chips(self, strategy):
+        for soc in (build_dsc_chip(), d695_soc(test_pins=48)):
+            tasks = tasks_from_soc(soc)
+            result = resolve_schedule(strategy, soc, tasks)
+            report = verify_schedule(soc, result, tasks=tasks)
+            assert report.ok, report.render()
+
+    def test_clean_on_generated_chip_with_bist(self):
+        soc, tasks = small_case()
+        for strategy in ("session", "nonsession", "serial"):
+            result = resolve_schedule(strategy, soc, tasks)
+            report = verify_schedule(soc, result, tasks=tasks)
+            assert report.ok, report.render()
+
+    def test_policy_inferred_from_strategy_name(self):
+        assert policy_for_strategy("non-session") == SharingPolicy.none()
+        assert policy_for_strategy("session-based") == SharingPolicy()
+        assert policy_for_strategy("some-plugin") == SharingPolicy()
+
+
+class TestRejectsBrokenSchedules:
+    def broken(self, strategy="serial"):
+        soc, tasks = small_case()
+        result = resolve_schedule(strategy, soc, tasks)
+        return soc, tasks, copy.deepcopy(result)
+
+    def rules_hit(self, report):
+        return {v.rule for v in report.errors}
+
+    def test_dropped_task_caught(self):
+        soc, tasks, result = self.broken()
+        result.sessions = result.sessions[1:]
+        report = verify_schedule(soc, result, tasks=tasks)
+        assert "task-coverage" in self.rules_hit(report)
+
+    def test_duplicated_task_caught(self):
+        soc, tasks, result = self.broken()
+        result.sessions[0].tests.append(result.sessions[1].tests[0])
+        report = verify_schedule(soc, result, tasks=tasks)
+        assert "task-coverage" in self.rules_hit(report)
+
+    def test_core_mutex_overlap_caught(self):
+        soc, tasks, result = self.broken()
+        # force two tests of one core to overlap in time
+        clone = copy.deepcopy(result.sessions[0].tests[0])
+        result.sessions[1].tests.append(clone)
+        report = verify_schedule(soc, result)
+        assert "core-mutex" in self.rules_hit(report)
+
+    def test_impossible_makespan_caught(self):
+        soc, tasks, result = self.broken()
+        result.total_time = 1
+        report = verify_schedule(soc, result, tasks=tasks)
+        assert "makespan" in self.rules_hit(report)
+
+    def test_width_beyond_max_caught(self):
+        soc, tasks, result = self.broken("session")
+        for session in result.sessions:
+            for test in session.tests:
+                if test.task.is_scan:
+                    test.width = test.task.max_width + 5
+                    report = verify_schedule(soc, result)
+                    assert "session-structure" in self.rules_hit(report)
+                    return
+        pytest.skip("no scan test in this draw")
+
+    def test_power_ceiling_violation_caught(self):
+        soc, tasks, result = self.broken("session")
+        soc.power_budget = 1e-3  # nothing fits anymore
+        report = verify_schedule(soc, result)
+        assert "power-ceiling" in self.rules_hit(report)
+
+    def test_pin_budget_violation_caught(self):
+        soc, tasks, result = self.broken("session")
+        soc.test_pins = 3  # nothing fits anymore
+        report = verify_schedule(soc, result)
+        assert "pin-budget" in self.rules_hit(report)
+
+    def test_non_dense_session_indices_caught(self):
+        soc, tasks, result = self.broken()
+        result.sessions[0].index = 7
+        report = verify_schedule(soc, result)
+        assert "session-structure" in self.rules_hit(report)
+
+
+class TestLowerBound:
+    def test_no_strategy_beats_the_bound_on_d695(self):
+        soc = d695_soc(test_pins=48)
+        tasks = tasks_from_soc(soc)
+        bound = schedule_lower_bound(soc, tasks)
+        assert bound > 0
+        for strategy in ("session", "nonsession", "serial"):
+            assert resolve_schedule(strategy, soc, tasks).total_time >= bound
+
+    def test_bound_at_least_bottleneck_task(self):
+        soc = d695_soc(test_pins=48)
+        tasks = tasks_from_soc(soc)
+        bottleneck = max(task_floor_time(t, soc.test_pins) for t in tasks)
+        assert schedule_lower_bound(soc, tasks) >= bottleneck
+
+    def test_empty_tasks_bound_is_zero(self):
+        assert schedule_lower_bound(d695_soc(), []) == 0
+
+    def test_more_pins_never_raise_the_bound(self):
+        tasks48 = tasks_from_soc(d695_soc(test_pins=48))
+        tasks96 = tasks_from_soc(d695_soc(test_pins=96))
+        assert schedule_lower_bound(
+            d695_soc(test_pins=96), tasks96
+        ) <= schedule_lower_bound(d695_soc(test_pins=48), tasks48)
+
+
+class TestPipelineIntegration:
+    def test_verify_stage_attaches_report(self):
+        result = Steac(SteacConfig(
+            compare_strategies=False, verify_schedule=True
+        )).integrate(build_dsc_chip())
+        assert result.verification is not None
+        assert result.verification.ok, result.verification.render()
+        assert "wrapper-balance" in result.verification.rules_checked
+        assert result.to_dict()["verification"]["ok"] is True
+        assert "verify" in result.stage_seconds
+
+    def test_default_flow_has_no_report(self):
+        result = Steac(SteacConfig(compare_strategies=False)).integrate(
+            build_dsc_chip()
+        )
+        assert result.verification is None
+        assert result.to_dict()["verification"] is None
+
+    def test_verify_integration_on_bare_result(self):
+        result = Steac(SteacConfig(compare_strategies=False)).integrate(
+            build_dsc_chip()
+        )
+        report = verify_integration(result)
+        assert report.ok, report.render()
+        assert "wrapper-balance" in report.rules_checked
+
+    def test_strict_mode_raises_on_violation(self):
+        soc, tasks = small_case()
+        config = SteacConfig(compare_strategies=False, verify_schedule=True,
+                             verify_strict=True)
+        result = Steac(config).integrate(soc)  # clean chip passes strict
+        assert result.verification.ok
+
+        # sabotage: a scheduler plugin that drops every other task
+        from repro.sched.registry import _REGISTRY, register_scheduler
+
+        @register_scheduler("lossy")
+        def lossy(soc, tasks, *, n_sessions=None, policy=None):
+            from repro.sched.session import schedule_serial
+
+            return schedule_serial(soc, tasks[::2], policy=policy or SharingPolicy())
+
+        try:
+            with pytest.raises(InvariantViolationError, match="missing"):
+                Steac(SteacConfig(
+                    compare_strategies=False, verify_schedule=True,
+                    verify_strict=True, strategy="lossy",
+                )).integrate(soc)
+        finally:
+            _REGISTRY.pop("lossy", None)
+
+    def test_batch_surfaces_verification(self):
+        socs = [SocGenerator(s, "tiny").generate() for s in range(3)]
+        config = SteacConfig(compare_strategies=False, verify_schedule=True)
+        batch = Steac(config).integrate_many(socs, workers=2)
+        assert batch.ok and batch.verified_ok
+        assert all(item.verification_ok is True for item in batch)
+        assert "Invariants" in batch.render()
+        doc = batch.to_dict()
+        assert doc["ok"] is True
+        assert doc["items"][0]["verification_ok"] is True
+        assert doc["items"][0]["result"]["verification"]["ok"] is True
+
+    def test_batch_ok_reflects_dirty_verification(self):
+        """An invariant-dirty (but not strict) flow keeps the *item* ok
+        — the chip integrated — but flips ``verified_ok`` and therefore
+        the batch-level ``ok`` (object, document, and CLI exit code all
+        agree)."""
+        from repro.sched.registry import _REGISTRY, register_scheduler
+        from repro.sched.session import schedule_serial
+
+        @register_scheduler("lossy-batch")
+        def lossy(soc, tasks, *, n_sessions=None, policy=None):
+            return schedule_serial(soc, tasks[1:], policy=policy or SharingPolicy())
+
+        try:
+            config = SteacConfig(compare_strategies=False, verify_schedule=True,
+                                 strategy="lossy-batch")
+            batch = Steac(config).integrate_many(
+                [SocGenerator(0, "tiny").generate()]
+            )
+            assert batch.items[0].ok  # the flow itself completed
+            assert not batch.verified_ok
+            assert batch.items[0].verification_ok is False
+            assert not batch.ok  # ...but the batch gate is dirty
+            doc = batch.to_dict()
+            assert doc["ok"] is False
+            assert doc["items"][0]["ok"] is True
+            assert doc["items"][0]["verification_ok"] is False
+            assert "violations" in batch.render()
+        finally:
+            _REGISTRY.pop("lossy-batch", None)
