@@ -73,6 +73,8 @@ def main() -> None:
           f"stage times = {{{', '.join(f'{k}: {v * 1e3:.1f}ms' for k, v in ctx.stage_seconds.items())}}}")
 
     # -- layer 3: batch — a pin-budget sweep, concurrently ------------------
+    # backend="auto" picks a process pool for real sweeps (serial for
+    # trivial ones); each worker runs its own Steac instance
     batch = steac.integrate_many([build_soc(test_pins=p) for p in (12, 16, 24, 32)],
                                  workers=4)
     print()

@@ -8,6 +8,7 @@ this is the command shell for the whole reproduction:
 * ``python -m repro dsc --json``     — machine-readable integration result
 * ``python -m repro dsc --verilog``  — also dump the DFT-inserted Verilog
 * ``python -m repro batch``          — integrate many SOCs concurrently
+  (``--backend serial|thread|process`` picks the executor)
 * ``python -m repro march``          — list the March algorithm library
 * ``python -m repro coverage``       — March fault-coverage table
 * ``python -m repro d695 [pins]``    — schedule the ITC'02 d695 benchmark
@@ -52,6 +53,12 @@ def _profile_choices() -> list[str]:
     return available_profiles()
 
 
+def _backend_choices() -> list[str]:
+    from repro.core.batch import BACKENDS
+
+    return list(BACKENDS)
+
+
 def _soc_builders() -> dict:
     from repro.soc.dsc import build_dsc_chip
     from repro.soc.itc02 import d695_soc
@@ -59,13 +66,18 @@ def _soc_builders() -> dict:
     return {"dsc": build_dsc_chip, "d695": d695_soc}
 
 
-def _build_soc(spec: str):
-    """Materialize a batch SOC spec: ``name[:pins[:power]]``.
+def _build_work_item(spec: str):
+    """Parse a batch SOC spec: ``name[:pins[:power]]``.
 
     Names: ``dsc`` (the paper's case-study chip), ``d695`` (ITC'02), or
     ``gen-<profile>-<seed>`` for a synthetic chip from :mod:`repro.gen`.
     Examples: ``dsc``, ``dsc:24``, ``dsc:28:6.5``, ``d695:48``,
     ``gen-tiny-7``, ``gen-d695-like-3:48``.
+
+    Named chips materialize here; generated chips come back as
+    :class:`repro.gen.ScenarioSpec` coordinates so batch workers (in
+    particular the process backend) generate them on their side of the
+    boundary instead of unpickling a live model.
     """
     builders = _soc_builders()
     parts = spec.split(":")
@@ -84,7 +96,7 @@ def _build_soc(spec: str):
             "pins an int, power a float)"
         ) from None
     if name.startswith("gen-"):
-        from repro.gen import SocGenerator, available_profiles, get_profile
+        from repro.gen import ScenarioSpec, available_profiles, get_profile
 
         profile_name, _, seed_text = name[4:].rpartition("-")
         try:
@@ -95,12 +107,12 @@ def _build_soc(spec: str):
                 f"bad generated-SOC spec {spec!r} (format: gen-<profile>-<seed>; "
                 f"profiles: {', '.join(available_profiles())})"
             ) from None
-        soc = SocGenerator(seed, profile).generate()
-        if "test_pins" in kwargs:
-            soc.test_pins = kwargs["test_pins"]
-        if "power_budget" in kwargs:
-            soc.power_budget = kwargs["power_budget"]
-        return soc
+        return ScenarioSpec(
+            profile=profile.name,
+            seed=seed,
+            test_pins=kwargs.get("test_pins"),
+            power_budget=kwargs.get("power_budget"),
+        )
     if name not in builders:
         raise SystemExit(
             f"unknown SOC {name!r} in spec {spec!r} "
@@ -143,10 +155,12 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     from repro.core import Steac, SteacConfig
 
     specs = args.socs or ["dsc:24", "dsc:28", "dsc:36", "dsc:48"]
-    socs = [_build_soc(spec) for spec in specs]
+    items = [_build_work_item(spec) for spec in specs]
     config = SteacConfig(strategy=args.strategy, compare_strategies=False,
                          verify_schedule=args.verify)
-    batch = Steac(config).integrate_many(socs, workers=args.workers)
+    batch = Steac(config).integrate_many(
+        items, workers=args.workers, backend=args.backend
+    )
     if args.json:
         print(batch.to_json())
     else:
@@ -381,65 +395,112 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fuzz_scenario(
+    profile: str, seed: int, strategies: tuple, ilp_max_tasks: int
+) -> tuple[dict, int]:
+    """One fuzz scenario: generate the chip from its coordinates, race
+    every strategy, invariant-check each schedule, round-trip the
+    ``.soc`` writer/parser.  Returns ``(scenario doc, violation count)``.
+
+    Module-level (and fed only coordinates, never live models) so
+    ``--backend process`` can pickle the work out to worker processes.
+    """
+    from repro.core import CompileBist, FlowContext, SteacConfig
+    from repro.gen import SocGenerator, roundtrip_errors
+    from repro.sched import (
+        InfeasibleScheduleError,
+        resolve_schedule,
+        schedule_lower_bound,
+    )
+    from repro.verify import verify_schedule
+
+    soc = SocGenerator(seed, profile).generate()
+    violation_count = 0
+    ctx = FlowContext(soc=soc, config=SteacConfig(compare_strategies=False))
+    CompileBist().run(ctx)
+    bound = schedule_lower_bound(soc, ctx.tasks)
+    rt_errors = roundtrip_errors(soc)
+    violation_count += len(rt_errors)
+    doc = {
+        "soc": soc.name,
+        "seed": seed,
+        "tasks": len(ctx.tasks),
+        "lower_bound": bound,
+        "roundtrip_ok": not rt_errors,
+        "roundtrip_errors": rt_errors,
+        "strategies": {},
+    }
+    for strategy in strategies:
+        if strategy == "ilp" and len(ctx.tasks) > ilp_max_tasks:
+            doc["strategies"][strategy] = {"skipped": f"> {ilp_max_tasks} tasks"}
+            continue
+        try:
+            result = resolve_schedule(strategy, soc, ctx.tasks)
+        except InfeasibleScheduleError as exc:
+            violation_count += 1
+            doc["strategies"][strategy] = {"infeasible": str(exc)}
+            continue
+        except ImportError as exc:
+            # an optional dependency (scipy for "ilp") is absent —
+            # not a scheduling violation, skip like the pipeline does
+            doc["strategies"][strategy] = {"skipped": f"optional dependency: {exc}"}
+            continue
+        except Exception as exc:
+            # a crashing scheduler is the defect class a differential
+            # harness exists to report: record it (with the replay
+            # coordinates) instead of sinking the whole sweep
+            violation_count += 1
+            doc["strategies"][strategy] = {"crashed": f"{type(exc).__name__}: {exc}"}
+            continue
+        report = verify_schedule(soc, result, tasks=ctx.tasks)
+        violation_count += len(report.errors)
+        doc["strategies"][strategy] = {
+            "total_time": result.total_time,
+            "sessions": result.session_count,
+            "ok": report.ok,
+            "violations": [v.to_dict() for v in report.violations],
+        }
+    return doc, violation_count
+
+
 def _cmd_fuzz(args: argparse.Namespace) -> int:
     """Differential fuzzing: every strategy over a generated corpus,
     every schedule invariant-checked, every chip round-tripped through
     the ITC'02 writer/parser.  Exit 1 on any violation."""
-    from repro.core import CompileBist, FlowContext, SteacConfig
-    from repro.gen import roundtrip_errors, scenarios
-    from repro.sched import (
-        InfeasibleScheduleError,
-        available_strategies,
-        resolve_schedule,
-        schedule_lower_bound,
-    )
-    from repro.util import Table
-    from repro.verify import verify_schedule
+    import itertools
 
+    from repro.core.batch import map_backend, resolve_backend
+    from repro.sched import available_strategies
+    from repro.util import Table
+
+    import os
+
+    if args.seeds < 1:
+        raise SystemExit(f"--seeds must be at least 1, got {args.seeds}")
     strategies = list(args.strategies or available_strategies())
-    scenario_docs: list[dict] = []
-    violation_count = 0
-    corpus = scenarios(args.seeds, profiles=(args.profile,), base_seed=args.seed_base)
-    for scenario in corpus:
-        soc = scenario.soc
-        ctx = FlowContext(soc=soc, config=SteacConfig(compare_strategies=False))
-        CompileBist().run(ctx)
-        bound = schedule_lower_bound(soc, ctx.tasks)
-        rt_errors = roundtrip_errors(soc)
-        violation_count += len(rt_errors)
-        doc = {
-            "soc": soc.name,
-            "seed": scenario.seed,
-            "tasks": len(ctx.tasks),
-            "lower_bound": bound,
-            "roundtrip_ok": not rt_errors,
-            "roundtrip_errors": rt_errors,
-            "strategies": {},
-        }
-        for strategy in strategies:
-            if strategy == "ilp" and len(ctx.tasks) > args.ilp_max_tasks:
-                doc["strategies"][strategy] = {"skipped": f"> {args.ilp_max_tasks} tasks"}
-                continue
-            try:
-                result = resolve_schedule(strategy, soc, ctx.tasks)
-            except InfeasibleScheduleError as exc:
-                violation_count += 1
-                doc["strategies"][strategy] = {"infeasible": str(exc)}
-                continue
-            except ImportError as exc:
-                # an optional dependency (scipy for "ilp") is absent —
-                # not a scheduling violation, skip like the pipeline does
-                doc["strategies"][strategy] = {"skipped": f"optional dependency: {exc}"}
-                continue
-            report = verify_schedule(soc, result, tasks=ctx.tasks)
-            violation_count += len(report.errors)
-            doc["strategies"][strategy] = {
-                "total_time": result.total_time,
-                "sessions": result.session_count,
-                "ok": report.ok,
-                "violations": [v.to_dict() for v in report.violations],
-            }
-        scenario_docs.append(doc)
+    seeds = list(range(args.seed_base, args.seed_base + args.seeds))
+    if args.workers is not None:
+        workers = max(1, args.workers)
+    elif args.backend in ("thread", "process"):
+        # an explicitly parallel backend without --workers should
+        # actually parallelize: one per seed, capped at the CPUs
+        workers = min(len(seeds), os.cpu_count() or 1) or 1
+    else:
+        workers = 1  # default sweep stays serial (plugin-registry safe)
+    backend = resolve_backend(args.backend, workers, len(seeds))
+    outcomes = map_backend(
+        _fuzz_scenario,
+        (
+            itertools.repeat(args.profile),
+            seeds,
+            itertools.repeat(tuple(strategies)),
+            itertools.repeat(args.ilp_max_tasks),
+        ),
+        backend,
+        workers,
+    )
+    scenario_docs = [doc for doc, _ in outcomes]
+    violation_count = sum(count for _, count in outcomes)
     ok = violation_count == 0
     if args.json:
         print(json.dumps(
@@ -469,6 +530,8 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
                 row.append("skip")
             elif "infeasible" in cell:
                 row.append("INFEASIBLE")
+            elif "crashed" in cell:
+                row.append("CRASHED")
             else:
                 row.append(cell["total_time"] if cell["ok"] else "VIOLATED")
         row.append("ok" if doc["roundtrip_ok"] else "FAIL")
@@ -485,6 +548,8 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
                               f"({violation['subject']}): {violation['message']}")
                 if "infeasible" in cell:
                     print(f"  {doc['soc']} [{strategy}] infeasible: {cell['infeasible']}")
+                if "crashed" in cell:
+                    print(f"  {doc['soc']} [{strategy}] crashed: {cell['crashed']}")
             for error in doc["roundtrip_errors"]:
                 print(f"  {doc['soc']} [roundtrip] {error}")
         print(f"reproduce a chip with: python -m repro generate "
@@ -520,7 +585,10 @@ def main(argv: list[str] | None = None) -> int:
                          help="SOC specs, e.g. dsc:24 dsc:28 d695:48 "
                               "(default: a DSC pin-budget sweep)")
     p_batch.add_argument("--workers", type=int, default=None,
-                         help="thread count (default: one per SOC, capped at CPUs)")
+                         help="worker count (default: one per SOC, capped at CPUs)")
+    p_batch.add_argument("--backend", choices=_backend_choices(), default="auto",
+                         help="executor backend (auto picks serial for trivial "
+                              "batches, process otherwise)")
     p_batch.add_argument("--strategy", choices=strategies, default="session",
                          help="scheduling strategy (registry name)")
     p_batch.add_argument("--json", action="store_true",
@@ -607,6 +675,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="strategies to race (default: every registered one)")
     p_fuzz.add_argument("--ilp-max-tasks", type=int, default=6,
                         help="skip the exact MILP above this task count")
+    p_fuzz.add_argument("--workers", type=int, default=None,
+                        help="worker count for the corpus sweep (default: 1)")
+    p_fuzz.add_argument("--backend", choices=_backend_choices(), default="auto",
+                        help="executor backend for the corpus sweep")
     p_fuzz.add_argument("--json", action="store_true",
                         help="emit the machine-readable fuzz report")
     p_fuzz.set_defaults(func=_cmd_fuzz)

@@ -6,8 +6,10 @@ Three API layers, thin over thick:
 * staged — :mod:`repro.core.pipeline` exposes each box (``ParseStil``,
   ``CompileBist``, ``Schedule``, ``InsertDft``, ``TranslatePatterns``)
   as a replaceable :class:`Stage` over a :class:`FlowContext`;
-* batch — ``Steac().integrate_many(socs, workers=N)`` fans the flow out
-  over a thread pool with per-SOC error isolation.
+* batch — ``Steac().integrate_many(socs, workers=N, backend=...)`` fans
+  the flow out over a pluggable executor backend (serial / thread /
+  process) with per-SOC error isolation and one platform instance per
+  worker.
 
 Results serialize via ``IntegrationResult.to_dict()`` / ``to_json()``.
 """

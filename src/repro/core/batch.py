@@ -3,35 +3,94 @@
 The paper integrates one chip in "5 minutes"; a production platform
 integrates design-space sweeps (pin budgets, power budgets, floorplans)
 and whole chip families.  :func:`integrate_many` fans the Fig.-1 flow
-out over a thread pool with
+out over a pluggable executor backend with
 
 * **deterministic ordering** — results come back in input order no
-  matter which worker finishes first, and
+  matter which worker finishes first,
 * **per-SOC error isolation** — one infeasible or malformed chip yields
-  a failed :class:`BatchItem`; the rest of the batch completes.
+  a failed :class:`BatchItem`; the rest of the batch completes, and
+* **per-worker platform instances** — every worker thread/process runs
+  its own :class:`~repro.core.steac.Steac`, so a stage that keeps
+  per-run state on ``self`` can never race across chips.
 
-Threads (not processes) because scan-task ``time_fn`` closures are not
-picklable.  On GIL builds the speedup for this pure-Python flow is
-modest (free-threaded builds overlap fully);
-``benchmarks/bench_pipeline_batch.py`` records the measured number
-either way.
+Backends (``backend=`` on :func:`integrate_many` / ``--backend`` on the
+CLI):
+
+``serial``
+    A plain loop in the calling thread — the reference semantics.
+``thread``
+    A :class:`~concurrent.futures.ThreadPoolExecutor`.  On GIL builds
+    the speedup for this pure-Python flow is modest (free-threaded
+    builds overlap fully).
+``process``
+    A :class:`~concurrent.futures.ProcessPoolExecutor` with chunked
+    submission — true multi-core execution.  This became possible once
+    scan-task time models were made declarative and picklable
+    (:class:`repro.sched.timecalc.ScanTimeModel` replaced the old
+    closure-based ``time_fn``, which pinned this module to threads).
+    Under ``auto``, a pool-machinery failure — an unpicklable work item
+    or result, a crashed worker — transparently retries on the thread
+    backend (identical deterministic results, no pickle boundary), so
+    per-SOC isolation holds either way; an *explicit* ``process``
+    request propagates such failures instead, keeping picklability
+    regressions visible to CI smoke runs.
+``auto``
+    ``serial`` for single-worker or single-chip batches, ``process``
+    otherwise.
+
+Work items may be live :class:`~repro.soc.soc.Soc` objects **or**
+cheap *specs* exposing ``build() -> Soc`` (e.g.
+:class:`repro.gen.corpus.ScenarioSpec`, the ``(profile, seed, index)``
+coordinates of a generated chip).  Specs are materialized inside the
+worker, so a generated corpus ships a few integers per chip to each
+process instead of a pickled SOC model.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Optional, Sequence
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Iterable,
+    Optional,
+    Protocol,
+    Sequence,
+    Union,
+    runtime_checkable,
+)
 
 from repro.core.results import BATCH_SCHEMA, IntegrationResult
 from repro.soc.soc import Soc
 from repro.util import Table, format_cycles
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.core.steac import SteacConfig
+    from repro.core.steac import Steac, SteacConfig
+
+#: Executor backends ``integrate_many`` accepts.
+BACKENDS = ("auto", "serial", "thread", "process")
+
+#: Target chunks-per-worker for process submission: small enough to load
+#: balance uneven chips, large enough to amortize pickling round-trips.
+_CHUNKS_PER_WORKER = 4
+
+
+@runtime_checkable
+class SocSpec(Protocol):
+    """Structural type for spec-based work items: anything with a
+    ``build() -> Soc`` method (and ideally a cheap ``name``) can ride a
+    batch; see :class:`repro.gen.corpus.ScenarioSpec`."""
+
+    def build(self) -> Soc: ...  # pragma: no cover - protocol stub
+
+
+#: One unit of batch work: a live chip model or a cheap buildable spec.
+WorkItem = Union[Soc, SocSpec]
 
 
 @dataclass
@@ -73,6 +132,7 @@ class BatchResult:
     items: list[BatchItem] = field(default_factory=list)
     workers: int = 1
     elapsed_seconds: float = 0.0
+    backend: str = "serial"
 
     def __iter__(self):
         return iter(self.items)
@@ -107,6 +167,7 @@ class BatchResult:
     def to_dict(self) -> dict:
         return {
             "schema": BATCH_SCHEMA,
+            "backend": self.backend,
             "workers": self.workers,
             "elapsed_seconds": round(self.elapsed_seconds, 6),
             "ok": self.ok,
@@ -125,7 +186,8 @@ class BatchResult:
         table = Table(
             columns,
             title=f"batch integration: {len(self.items)} SOCs, "
-            f"{self.workers} workers, {self.elapsed_seconds:.2f} s",
+            f"{self.backend} backend, {self.workers} workers, "
+            f"{self.elapsed_seconds:.2f} s",
         )
         for item in self.items:
             if item.result is not None:
@@ -150,17 +212,138 @@ class BatchResult:
         return table.render()
 
 
+# -- worker plumbing ---------------------------------------------------------
+
+
+def _integrate_item(steac: "Steac", index: int, item: WorkItem) -> BatchItem:
+    """Run one work item on one platform instance, isolating errors."""
+    name = f"soc[{index}]"
+    try:
+        # inside the try: a malformed spec may raise from its own name
+        # property (e.g. an unknown generator profile), and that must
+        # fail this item, not the batch
+        name = getattr(item, "name", None) or name
+        if isinstance(item, Soc):
+            soc = item
+        else:
+            build = getattr(item, "build", None)
+            if not callable(build):
+                raise TypeError(
+                    f"batch work item {item!r} is neither a Soc nor a spec "
+                    "with a build() method"
+                )
+            soc = build()
+            name = getattr(soc, "name", name)
+        return BatchItem(index=index, soc_name=name, result=steac.integrate(soc))
+    except Exception as exc:  # per-SOC isolation: record, don't raise
+        return BatchItem(index=index, soc_name=name, error=f"{type(exc).__name__}: {exc}")
+
+
+#: Per-process platform instance, created once by :func:`_init_process_worker`.
+_PROCESS_STEAC: Optional["Steac"] = None
+
+
+def _init_process_worker(config: "SteacConfig | None") -> None:
+    """Process-pool initializer: one ``Steac`` per worker process."""
+    global _PROCESS_STEAC
+    from repro.core.steac import Steac
+
+    _PROCESS_STEAC = Steac(config)
+
+
+def _process_one(index: int, item: WorkItem) -> BatchItem:
+    """Module-level (hence picklable) process-pool work function."""
+    return _integrate_item(_PROCESS_STEAC, index, item)
+
+
+def _run_threads(
+    items: list[WorkItem], config: "SteacConfig | None", workers: int
+) -> list[BatchItem]:
+    """Thread backend: one lazily-constructed ``Steac`` per worker thread."""
+    from repro.core.steac import Steac
+
+    local = threading.local()
+
+    def run(index: int, item: WorkItem) -> BatchItem:
+        steac = getattr(local, "steac", None)
+        if steac is None:
+            steac = local.steac = Steac(config)
+        return _integrate_item(steac, index, item)
+
+    return map_backend(run, (range(len(items)), items), "thread", workers)
+
+
+def resolve_backend(backend: str, workers: int, n_items: int) -> str:
+    """Turn ``auto`` into a concrete backend name (and reject typos)."""
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown batch backend {backend!r}; choose from {', '.join(BACKENDS)}"
+        )
+    if backend != "auto":
+        return backend
+    if workers <= 1 or n_items <= 1:
+        return "serial"
+    return "process"
+
+
+def map_backend(
+    fn: Callable,
+    iterables: Sequence[Iterable],
+    backend: str,
+    workers: int = 1,
+    chunksize: int = 1,
+    initializer: Optional[Callable] = None,
+    initargs: tuple = (),
+) -> list:
+    """Order-preserving ``map(fn, *iterables)`` on a concrete backend.
+
+    The one executor dispatch shared by :func:`integrate_many` and the
+    CLI ``fuzz`` sweep — ``serial`` runs a plain loop, ``thread`` /
+    ``process`` fan out over a pool (``executor.map`` preserves input
+    order regardless of completion order).  For the process backend
+    ``fn`` must be picklable (module-level), and ``initializer`` (when
+    given) runs once per worker process; the other backends ignore it —
+    their callers do per-worker setup in ``fn`` itself.
+    """
+    if backend == "process":
+        with ProcessPoolExecutor(
+            max_workers=workers, initializer=initializer, initargs=initargs
+        ) as pool:
+            return list(pool.map(fn, *iterables, chunksize=chunksize))
+    if backend == "thread":
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(fn, *iterables))
+    if backend != "serial":
+        raise ValueError(
+            f"unresolved batch backend {backend!r}; run resolve_backend() first"
+        )
+    return [fn(*args) for args in zip(*iterables)]
+
+
 def integrate_many(
-    socs: Sequence[Soc],
+    socs: Sequence[WorkItem],
     config: "SteacConfig | None" = None,
     workers: Optional[int] = None,
+    backend: str = "auto",
 ) -> BatchResult:
     """Integrate every SOC in ``socs`` concurrently.
 
     Args:
-        socs: the chips; each runs the full default flow independently.
-        config: shared platform configuration (read-only across workers).
-        workers: thread count; default ``min(len(socs), cpu_count)``.
+        socs: the chips — live ``Soc`` models and/or buildable specs
+            (see the module docstring); each runs the full default flow
+            independently on its worker's own ``Steac``.
+        config: shared platform configuration (each worker constructs
+            its own ``Steac`` from it; the process backend requires it
+            to be picklable, which the stock ``SteacConfig`` is).
+        workers: worker count; default ``min(len(socs), cpu_count)``.
+        backend: ``auto`` / ``serial`` / ``thread`` / ``process``
+            (see :data:`BACKENDS`); ``auto`` picks ``serial`` for
+            trivial batches and ``process`` otherwise.  On platforms
+            whose multiprocessing start method is *spawn* (macOS,
+            Windows), the process backend — like any use of
+            ``multiprocessing`` — requires the calling script to guard
+            its entry point with ``if __name__ == "__main__":``; pass
+            ``backend="thread"`` to keep the old thread-pool behaviour.
 
     Returns:
         A :class:`BatchResult` whose items are in ``socs`` order; a SOC
@@ -169,27 +352,54 @@ def integrate_many(
     """
     from repro.core.steac import Steac
 
-    socs = list(socs)
+    items = list(socs)
     if workers is None:
-        workers = min(len(socs), os.cpu_count() or 1) or 1
+        workers = min(len(items), os.cpu_count() or 1) or 1
     workers = max(1, workers)
-    steac = Steac(config)
-
-    def one(pair: tuple[int, Soc]) -> BatchItem:
-        index, soc = pair
-        name = getattr(soc, "name", f"soc[{index}]")
-        try:
-            return BatchItem(index=index, soc_name=name, result=steac.integrate(soc))
-        except Exception as exc:  # per-SOC isolation: record, don't raise
-            return BatchItem(index=index, soc_name=name, error=f"{type(exc).__name__}: {exc}")
+    requested = backend
+    backend = resolve_backend(backend, workers, len(items))
 
     started = time.perf_counter()
-    if workers == 1:
-        items = [one(pair) for pair in enumerate(socs)]
-    else:
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            # executor.map preserves input order regardless of completion order
-            items = list(pool.map(one, enumerate(socs)))
+    if not items:
+        out: list[BatchItem] = []
+    elif backend == "process":
+        chunksize = max(1, len(items) // (workers * _CHUNKS_PER_WORKER))
+        try:
+            out = map_backend(
+                _process_one,
+                (range(len(items)), items),
+                backend,
+                workers,
+                chunksize=chunksize,
+                initializer=_init_process_worker,
+                initargs=(config,),
+            )
+        except Exception:
+            # anything escaping pool.map is pool machinery, not
+            # integration logic (per-item errors are already caught in
+            # _integrate_item): an unpicklable item/result or a crashed
+            # worker.  When the caller asked for "auto", retry on the
+            # thread backend (no pickle boundary, same deterministic
+            # results) to honour the per-SOC isolation promise; an
+            # *explicit* process request propagates the failure, so CI
+            # smoke runs can catch picklability regressions.
+            if requested != "auto":
+                raise
+            backend = "thread"
+            out = _run_threads(items, config, workers)
+    elif backend == "thread":
+        out = _run_threads(items, config, workers)
+    else:  # serial: one shared Steac in the calling thread
+        steac = Steac(config)
+        out = map_backend(
+            lambda i, item: _integrate_item(steac, i, item),
+            (range(len(items)), items),
+            backend,
+            workers,
+        )
     return BatchResult(
-        items=items, workers=workers, elapsed_seconds=time.perf_counter() - started
+        items=out,
+        workers=workers,
+        elapsed_seconds=time.perf_counter() - started,
+        backend=backend,
     )

@@ -63,7 +63,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.verify.report import VerificationReport
 
 RESULT_SCHEMA = "repro/integration-result/v3"
-BATCH_SCHEMA = "repro/batch-result/v2"
+BATCH_SCHEMA = "repro/batch-result/v3"
 
 
 @dataclass

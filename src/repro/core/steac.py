@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from repro.bist.march import MARCH_C_MINUS, MarchTest
-from repro.core.batch import BatchResult, integrate_many
+from repro.core.batch import BatchResult, WorkItem, integrate_many
 from repro.core.pipeline import FlowContext, Pipeline, default_stages
 from repro.core.results import IntegrationResult
 from repro.patterns.core_patterns import CorePatternSet
@@ -144,15 +144,21 @@ class Steac:
 
     def integrate_many(
         self,
-        socs: Sequence[Soc],
+        socs: Sequence[WorkItem],
         workers: Optional[int] = None,
+        backend: str = "auto",
     ) -> BatchResult:
-        """Integrate many SOCs concurrently under this configuration.
+        """Integrate many SOCs (live models or buildable specs)
+        concurrently under this configuration.
 
         Results come back in input order with per-SOC error isolation;
-        see :func:`repro.core.batch.integrate_many`.
+        each worker (thread or process, per ``backend``) runs its own
+        ``Steac`` built from this platform's config; see
+        :func:`repro.core.batch.integrate_many`.
         """
-        return integrate_many(socs, config=self.config, workers=workers)
+        return integrate_many(
+            socs, config=self.config, workers=workers, backend=backend
+        )
 
     def _schedule(self, soc: Soc, tasks, strategy: str) -> ScheduleResult:
         """Resolve ``strategy`` by name and schedule (kept for callers of

@@ -8,8 +8,14 @@ streams — the substrate the differential fuzz harness
 benchmarks all draw from.
 """
 
-from repro.gen.corpus import DEFAULT_PROFILES, Scenario, scenarios
-from repro.gen.generator import SocGenerator, generate_soc
+from repro.gen.corpus import (
+    DEFAULT_PROFILES,
+    Scenario,
+    ScenarioSpec,
+    scenario_specs,
+    scenarios,
+)
+from repro.gen.generator import SocGenerator, chip_name, generate_soc
 from repro.gen.profiles import (
     GenProfile,
     available_profiles,
@@ -28,14 +34,17 @@ __all__ = [
     "DEFAULT_PROFILES",
     "GenProfile",
     "Scenario",
+    "ScenarioSpec",
     "SocGenerator",
     "available_profiles",
+    "chip_name",
     "core_to_module",
     "generate_soc",
     "get_profile",
     "register_profile",
     "roundtrip_errors",
     "roundtrips",
+    "scenario_specs",
     "scenarios",
     "soc_to_modules",
     "soc_to_text",

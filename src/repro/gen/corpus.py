@@ -6,20 +6,63 @@ consume the generator at scale: the CLI ``fuzz`` command walks a
 :func:`scenarios` stream, and any failure it reports is replayed with
 :meth:`Scenario.regenerate` (or ``python -m repro generate --profile P
 --seed S``) from the printed coordinates alone.
+
+For batch execution the coordinates themselves are the work unit:
+:class:`ScenarioSpec` is a few integers that ``build()`` into the chip
+on demand, so ``repro.core.batch``'s process backend ships specs to
+workers (cheap to pickle) and materializes each SOC inside the worker
+instead of serializing live models across the process boundary.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Sequence
+from typing import Iterator, Optional, Sequence
 
-from repro.gen.generator import SocGenerator
+from repro.gen.generator import SocGenerator, chip_name
 from repro.gen.profiles import GenProfile, get_profile
 from repro.soc.soc import Soc
 
 #: Default profile mix for corpus streams: the sizes every strategy
 #: (including the exact MILP, on the tiny end) can digest.
 DEFAULT_PROFILES: tuple[str, ...] = ("tiny", "small")
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Coordinates of one generated chip, plus optional budget overrides.
+
+    The spec is the *transferable* form of a scenario — a handful of
+    ints/strings that pickle in a few bytes — and doubles as a batch
+    work item (``repro.core.batch`` calls :meth:`build` in the worker).
+    """
+
+    profile: str
+    seed: int
+    index: int = 0
+    test_pins: Optional[int] = None
+    power_budget: Optional[float] = None
+
+    @property
+    def name(self) -> str:
+        """The chip's deterministic name (no generation needed)."""
+        return chip_name(self.profile, self.seed, self.index)
+
+    def build(self) -> Soc:
+        """Materialize the chip (bit-identical for equal coordinates)."""
+        soc = SocGenerator(self.seed, self.profile).generate(self.index)
+        if self.test_pins is not None:
+            soc.test_pins = self.test_pins
+        if self.power_budget is not None:
+            soc.power_budget = self.power_budget
+        return soc
+
+    def describe(self) -> str:
+        """Replay coordinates for failure reports."""
+        return (
+            f"{self.name} (profile={self.profile} seed={self.seed} "
+            f"index={self.index})"
+        )
 
 
 @dataclass(frozen=True)
@@ -31,6 +74,11 @@ class Scenario:
     index: int
     soc: Soc
 
+    @property
+    def spec(self) -> ScenarioSpec:
+        """The transferable coordinates of this scenario."""
+        return ScenarioSpec(profile=self.profile, seed=self.seed, index=self.index)
+
     def regenerate(self) -> Soc:
         """Rebuild the chip from coordinates (bit-identical to ``soc``)."""
         return SocGenerator(self.seed, self.profile).generate(self.index)
@@ -38,6 +86,26 @@ class Scenario:
     def describe(self) -> str:
         """Replay coordinates for failure reports."""
         return f"{self.soc.name} (profile={self.profile} seed={self.seed} index={self.index})"
+
+
+def scenario_specs(
+    count: int,
+    profiles: Sequence[GenProfile | str] = DEFAULT_PROFILES,
+    base_seed: int = 0,
+) -> list[ScenarioSpec]:
+    """The coordinates of :func:`scenarios` without generating any chip.
+
+    Use these as batch work items: ``integrate_many(scenario_specs(64,
+    ["d695-like"]), backend="process")`` ships only coordinates to the
+    worker processes.
+    """
+    resolved = [get_profile(p) if isinstance(p, str) else p for p in profiles]
+    if not resolved:
+        raise ValueError("corpus needs at least one profile")
+    return [
+        ScenarioSpec(profile=resolved[i % len(resolved)].name, seed=base_seed + i)
+        for i in range(count)
+    ]
 
 
 def scenarios(
@@ -52,15 +120,10 @@ def scenarios(
     equal arguments yield structurally identical chips in the same
     order.
     """
-    resolved = [get_profile(p) if isinstance(p, str) else p for p in profiles]
-    if not resolved:
-        raise ValueError("corpus needs at least one profile")
-    for i in range(count):
-        profile = resolved[i % len(resolved)]
-        seed = base_seed + i
+    for spec in scenario_specs(count, profiles, base_seed):
         yield Scenario(
-            profile=profile.name,
-            seed=seed,
-            index=0,
-            soc=SocGenerator(seed, profile).generate(),
+            profile=spec.profile,
+            seed=spec.seed,
+            index=spec.index,
+            soc=spec.build(),
         )

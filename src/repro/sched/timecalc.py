@@ -18,7 +18,7 @@ wrapper-programming preamble.
 
 from __future__ import annotations
 
-from functools import lru_cache
+from dataclasses import dataclass
 
 from repro.soc.core import Core
 from repro.wrapper.balance import design_wrapper
@@ -61,14 +61,87 @@ def core_scan_time(core: Core, width: int, patterns: int | None = None) -> int:
     return scan_test_time(plan.scan_in_depth, plan.scan_out_depth, patterns)
 
 
-def make_scan_time_fn(core: Core, patterns: int):
-    """A cached ``width -> cycles`` function for a core's scan test."""
+@dataclass(frozen=True)
+class ScanTimeModel:
+    """Declarative ``width -> cycles`` model for one core's scan test.
 
-    @lru_cache(maxsize=None)
-    def time_fn(width: int) -> int:
-        return core_scan_time(core, width, patterns)
+    The monotone non-increasing time table is computed **once** per
+    (core, patterns) pair — running :func:`design_wrapper` for every
+    useful width up front — and stored as a plain tuple, so the model is
 
-    return time_fn
+    * **picklable** — tasks and schedule results built from it cross
+      process boundaries (the ``repro.core.batch`` process backend),
+      unlike the closure-over-``Core`` + ``lru_cache`` it replaced, and
+    * **O(1) in the scheduler hot loop** — the session local search
+      re-evaluates ``task.time()`` thousands of times per chip; every
+      call is a tuple index, never a wrapper redesign.
+
+    ``times[w - 1]`` is the cycle count at TAM width ``w``; widths above
+    the table clamp to the last entry (extra wires buy nothing past the
+    task's own maximum useful width).
+    """
+
+    core_name: str
+    patterns: int
+    times: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.times:
+            raise ValueError(
+                f"scan-time model for {self.core_name!r} needs at least one width"
+            )
+
+    @classmethod
+    def for_core(
+        cls, core: Core, patterns: int | None = None, max_width: int | None = None
+    ) -> "ScanTimeModel":
+        """Precompute the table for ``core`` over widths ``1..max_width``
+        (default: the core's largest useful scan width).
+
+        Tables are memoized **on the core object** keyed by
+        ``(patterns, max_width)`` — once per (core, patterns), however
+        many times tasks are rebuilt — so the cache's lifetime is the
+        core's.  The memo assumes the core's wrapper-relevant structure
+        (ports, chains, core type) is not mutated between calls.
+        """
+        if patterns is None:
+            patterns = core.scan_patterns
+        if max_width is None:
+            from repro.sched.tasks import scan_max_width
+
+            max_width = scan_max_width(core)
+        cache = core.__dict__.setdefault("_scan_time_models", {})
+        key = (patterns, max_width)
+        model = cache.get(key)
+        if model is None:
+            times = tuple(
+                core_scan_time(core, width, patterns)
+                for width in range(1, max(1, max_width) + 1)
+            )
+            model = cache[key] = cls(
+                core_name=core.name, patterns=patterns, times=times
+            )
+        return model
+
+    @property
+    def max_width(self) -> int:
+        """Largest width the table covers (wider queries clamp to it)."""
+        return len(self.times)
+
+    def __call__(self, width: int) -> int:
+        """Cycle count at TAM width ``width`` (clamped into the table)."""
+        if width < 1:
+            width = 1
+        return self.times[min(width, len(self.times)) - 1]
+
+
+def make_scan_time_fn(core: Core, patterns: int) -> ScanTimeModel:
+    """A precomputed ``width -> cycles`` callable for a core's scan test.
+
+    Kept for API compatibility; returns a (picklable)
+    :class:`ScanTimeModel` rather than the old closure.
+    """
+    return ScanTimeModel.for_core(core, patterns)
 
 
 def best_width_time(core: Core, max_width: int, patterns: int | None = None) -> tuple[int, int]:

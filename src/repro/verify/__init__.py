@@ -16,7 +16,6 @@ from repro.verify.consistency import (
     check_flow_artifacts,
     check_program_cycles,
     check_wrapper_plan,
-    scheduled_widths,
     verify_integration,
 )
 from repro.verify.invariants import policy_for_strategy, verify_schedule
@@ -32,7 +31,6 @@ __all__ = [
     "check_program_cycles",
     "check_wrapper_plan",
     "policy_for_strategy",
-    "scheduled_widths",
     "verify_integration",
     "verify_schedule",
 ]

@@ -21,6 +21,10 @@ from typing import TYPE_CHECKING, Optional
 
 from repro.patterns.ate import AteProgram
 from repro.patterns.core_patterns import CorePatternSet
+
+# one definition, shared with the translator, so the checker can never
+# drift from what it checks
+from repro.patterns.translate import CHIP_SESSION_PREAMBLE
 from repro.sched.result import ScheduleResult
 from repro.sched.timecalc import scan_test_time
 from repro.soc.core import Core
@@ -32,20 +36,10 @@ from repro.wrapper.wrapper import wir_shift_sequence
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.results import IntegrationResult
 
-#: Cycles the chip-level lift prepends (test-controller session config).
-CHIP_SESSION_PREAMBLE = 4
-
 
 def _wir_preamble_cycles(instruction: WrapperInstruction) -> int:
     """Cycles the translator spends programming the WIR (shift + update)."""
     return len(wir_shift_sequence(instruction)) + 1
-
-
-def scheduled_widths(schedule: ScheduleResult) -> dict[str, int]:
-    """Per-core maximum assigned scan width (the width wrappers are
-    generated for — :meth:`ScheduleResult.scheduled_widths`, the same
-    definition ``InsertDft`` builds from)."""
-    return schedule.scheduled_widths()
 
 
 def check_wrapper_plan(
@@ -131,7 +125,7 @@ def check_flow_artifacts(
     """The wrapper + translation sweep over a flow's artifacts — the one
     driver both :func:`verify_integration` and the ``verify`` pipeline
     stage delegate to."""
-    widths = scheduled_widths(schedule)
+    widths = schedule.scheduled_widths()
     for name, wrapper in sorted(wrappers.items()):
         try:
             core = soc.core(name)

@@ -97,7 +97,8 @@ class TestStructuredResults:
         )
         d = json.loads(batch.to_json())
         assert d == batch.to_dict()
-        assert d["schema"] == "repro/batch-result/v2"
+        assert d["schema"] == "repro/batch-result/v3"
+        assert d["backend"] in {"serial", "thread", "process"}
         assert d["ok"] is False
         assert d["items"][0]["result"]["schema"] == "repro/integration-result/v3"
         assert d["items"][1]["result"] is None

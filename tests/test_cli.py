@@ -227,6 +227,17 @@ class TestFuzzCommand:
             assert cell["ok"] is True
             assert cell["total_time"] >= scenario["lower_bound"]
 
+    def test_parallel_backends_match_serial(self, capsys):
+        """`fuzz --backend process/thread` must emit exactly the serial
+        report: the sweep only ships (profile, seed) coordinates."""
+        base = ["fuzz", "--seeds", "3", "--profile", "tiny",
+                "--strategies", "session", "serial", "--json"]
+        assert main(base) == 0
+        serial_doc = json.loads(capsys.readouterr().out)
+        for backend in ("thread", "process"):
+            assert main(base + ["--backend", backend, "--workers", "2"]) == 0
+            assert json.loads(capsys.readouterr().out) == serial_doc
+
     def test_ilp_gated_by_task_count(self, capsys):
         assert main(["fuzz", "--seeds", "2", "--profile", "small",
                      "--strategies", "ilp", "--ilp-max-tasks", "0", "--json"]) == 0
@@ -259,6 +270,30 @@ class TestFuzzCommand:
         with pytest.raises(SystemExit):
             main(["fuzz", "--seeds", "1", "--strategies", "magic"])
 
+    def test_zero_seeds_rejected(self):
+        """An empty corpus must not report a vacuous 'clean' exit 0."""
+        with pytest.raises(SystemExit):
+            main(["fuzz", "--seeds", "0"])
+
+    def test_crashing_strategy_recorded_not_fatal(self, capsys):
+        """A plugin scheduler that raises must become a reported
+        violation with replay coordinates, not a sweep-killing traceback."""
+        from repro.sched.registry import _REGISTRY, register_scheduler
+
+        @register_scheduler("explosive")
+        def explosive(soc, tasks, *, n_sessions=None, policy=None):
+            raise ZeroDivisionError("boom")
+
+        try:
+            assert main(["fuzz", "--seeds", "2", "--profile", "tiny",
+                         "--strategies", "explosive", "session"]) == 1
+            out = capsys.readouterr().out
+            assert "CRASHED" in out
+            assert "ZeroDivisionError: boom" in out
+            assert "reproduce a chip with" in out
+        finally:
+            _REGISTRY.pop("explosive", None)
+
 
 class TestBatchCommand:
     def test_default_sweep(self, capsys):
@@ -270,7 +305,7 @@ class TestBatchCommand:
     def test_batch_json(self, capsys):
         assert main(["batch", "dsc:24", "dsc:28", "--json"]) == 0
         doc = json.loads(capsys.readouterr().out)
-        assert doc["schema"] == "repro/batch-result/v2"
+        assert doc["schema"] == "repro/batch-result/v3"
         assert doc["ok"] is True
         assert len(doc["items"]) == 2
         assert [i["index"] for i in doc["items"]] == [0, 1]
@@ -296,6 +331,22 @@ class TestBatchCommand:
         assert main(["batch", "gen-tiny-5", "--json"]) == 0
         doc = json.loads(capsys.readouterr().out)
         assert doc["items"][0]["result"]["verification"] is None
+
+    def test_backend_flag_process(self, capsys):
+        assert main(["batch", "gen-tiny-3", "gen-tiny-4", "--backend", "process",
+                     "--workers", "2", "--verify", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["backend"] == "process" and doc["workers"] == 2
+        assert doc["ok"] is True
+
+    def test_backend_flag_serial(self, capsys):
+        assert main(["batch", "dsc:28", "--backend", "serial", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["backend"] == "serial"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["batch", "dsc:28", "--backend", "greenlet"])
 
     def test_bad_generated_spec_rejected(self):
         for spec in ("gen-gigantic-3", "gen-tiny-x", "gen-tiny"):

@@ -3,9 +3,11 @@
 from hypothesis import given, strategies as st
 
 from repro.sched import (
+    ScanTimeModel,
     best_width_time,
     core_scan_time,
     functional_test_time,
+    make_scan_time_fn,
     scan_max_width,
     scan_test_time,
     tasks_from_core,
@@ -89,6 +91,52 @@ class TestWidthHelpers:
     def test_property_monotone_nonincreasing(self, w):
         tv = build_tv_core()
         assert core_scan_time(tv, w + 1) <= core_scan_time(tv, w)
+
+
+class TestScanTimeModel:
+    def test_tasks_carry_declarative_models(self):
+        """Scan tasks ship :class:`ScanTimeModel` tables, not closures —
+        the property the process batch backend rests on."""
+        for task in tasks_from_soc(build_dsc_chip()):
+            if task.is_scan:
+                assert isinstance(task.time_fn, ScanTimeModel)
+                assert task.time_fn.max_width == task.max_width
+
+    def test_table_is_monotone_nonincreasing(self):
+        model = ScanTimeModel.for_core(build_usb_core())
+        assert list(model.times) == sorted(model.times, reverse=True)
+
+    def test_make_scan_time_fn_compat_shim(self):
+        usb = build_usb_core()
+        fn = make_scan_time_fn(usb, 716)
+        assert isinstance(fn, ScanTimeModel)
+        assert fn(4) == core_scan_time(usb, 4, 716)
+
+    def test_default_patterns_and_width(self):
+        usb = build_usb_core()
+        model = ScanTimeModel.for_core(usb)
+        assert model.patterns == usb.scan_patterns
+        assert model.max_width == scan_max_width(usb)
+
+    def test_table_memoized_per_core_and_patterns(self):
+        usb = build_usb_core()
+        assert ScanTimeModel.for_core(usb, 716) is ScanTimeModel.for_core(usb, 716)
+        assert ScanTimeModel.for_core(usb, 716) is not ScanTimeModel.for_core(usb, 10)
+        # a fresh core object has its own cache
+        assert ScanTimeModel.for_core(build_usb_core(), 716) is not ScanTimeModel.for_core(usb, 716)
+
+    def test_accounting_only_tasks_skip_time_models(self):
+        """tasks_from_soc(time_models=False) keeps the control-IO fields
+        (same pin accounting) without any design_wrapper sweep."""
+        from repro.sched import SharingPolicy, control_pins
+
+        soc = build_dsc_chip()
+        full = tasks_from_soc(soc)
+        cheap = tasks_from_soc(soc, time_models=False)
+        assert [t.name for t in cheap] == [t.name for t in full]
+        assert all(t.time_fn is None for t in cheap)
+        for policy in (SharingPolicy(), SharingPolicy.none()):
+            assert control_pins(cheap, policy) == control_pins(full, policy)
 
 
 class TestTasks:
