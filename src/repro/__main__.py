@@ -223,112 +223,27 @@ def _cmd_strategies(args: argparse.Namespace) -> int:
 def _cmd_repair(args: argparse.Namespace) -> int:
     """Close the loop for one chip: inject seeded defects into every
     memory, diagnose with a real March run, allocate spares, and score
-    the design with a Monte-Carlo repair-rate estimate."""
-    import random
+    the design with a Monte-Carlo repair-rate estimate (the report body
+    lives in :mod:`repro.repair.service`, shared with ``repro serve``)."""
+    from repro.repair.service import render_repair_report, repair_report
 
-    from repro.bist.march import MARCH_C_MINUS
-    from repro.repair import (
-        DEFAULT_REDUNDANCY,
-        Defect,
-        DefectModel,
-        bisr_gates,
-        diagnose_defects,
-        diagnosis_geometry,
-        estimate_repair_rate,
-        resolve_allocation,
-    )
-    from repro.repair.montecarlo import DEFECT_KINDS
-    from repro.soc.memory import RedundancySpec
-    from repro.util import Table
-
-    builders = _soc_builders()
-    soc = builders[args.soc]()
-    spares = RedundancySpec(
-        args.spare_rows if args.spare_rows is not None else DEFAULT_REDUNDANCY.spare_rows,
-        args.spare_cols if args.spare_cols is not None else DEFAULT_REDUNDANCY.spare_cols,
-    )
-    model = DefectModel(defects_per_mbit=args.defect_density)
-    march = MARCH_C_MINUS
-    rng = random.Random(args.seed)
-    memory_docs = []
-    for spec in soc.memories:
-        # a spec's own redundancy wins, here and in the Monte-Carlo below
-        mem_spares = spec.redundancy if spec.redundancy is not None else spares
-        rows, cols = diagnosis_geometry(spec, args.model_rows)
-        # the diagnosis showcase injects a fixed defect count per memory
-        # (the Monte-Carlo below uses the density model instead)
-        defects = [
-            Defect(
-                rng.choices(DEFECT_KINDS, weights=model.kind_weights)[0],
-                rng.randrange(rows),
-                rng.randrange(cols),
-            )
-            for _ in range(args.defects)
-        ]
-        bitmap = diagnose_defects(defects, spec, march, args.model_rows)
-        allocation = resolve_allocation(args.allocator, bitmap, mem_spares)
-        memory_docs.append(
-            {
-                "name": spec.name,
-                "geometry": spec.describe(),
-                "rows": rows,
-                "cols": cols,
-                "spares": {"rows": mem_spares.spare_rows, "cols": mem_spares.spare_cols},
-                "defects_injected": len(defects),
-                "bitmap": bitmap.to_dict(),
-                "allocation": allocation.to_dict(),
-                "bisr_gates": round(bisr_gates(spec, mem_spares), 1),
-            }
-        )
-    rate = estimate_repair_rate(
-        soc.memories,
-        trials=args.trials,
+    soc = _soc_builders()[args.soc]()
+    doc = repair_report(
+        soc,
         seed=args.seed,
+        trials=args.trials,
         workers=args.workers or 0,
         allocator=args.allocator,
-        model=model,
-        default_spares=spares,
+        defects=args.defects,
+        defect_density=args.defect_density,
+        spare_rows=args.spare_rows,
+        spare_cols=args.spare_cols,
         model_rows=args.model_rows,
     )
     if args.json:
-        print(json.dumps(
-            {
-                "schema": "repro/repair-report/v1",
-                "soc": soc.name,
-                "march": march.name,
-                "allocator": args.allocator,
-                "spares": {"rows": spares.spare_rows, "cols": spares.spare_cols},
-                "memories": memory_docs,
-                "monte_carlo": rate.to_dict(),
-            },
-            indent=2, sort_keys=True,
-        ))
-        return 0
-    table = Table(
-        ["Memory", "Geometry", "Defects", "Fails", "Allocation", "BISR gates"],
-        title=f"Diagnosis & repair ({march.name}, {spares.describe()} spares, "
-        f"allocator {args.allocator})",
-    )
-    for doc in memory_docs:
-        alloc = doc["allocation"]
-        verdict = (
-            f"{len(alloc['rows'])}R+{len(alloc['cols'])}C"
-            if alloc["repairable"]
-            else "UNREPAIRABLE"
-        )
-        table.add_row(
-            [
-                doc["name"],
-                doc["geometry"],
-                doc["defects_injected"],
-                doc["bitmap"]["fail_count"],
-                verdict,
-                doc["bisr_gates"],
-            ]
-        )
-    print(table.render())
-    print()
-    print(rate.render())
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        print(render_repair_report(doc))
     return 0
 
 
@@ -395,127 +310,32 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _fuzz_scenario(
-    profile: str, seed: int, strategies: tuple, ilp_max_tasks: int
-) -> tuple[dict, int]:
-    """One fuzz scenario: generate the chip from its coordinates, race
-    every strategy, invariant-check each schedule, round-trip the
-    ``.soc`` writer/parser.  Returns ``(scenario doc, violation count)``.
-
-    Module-level (and fed only coordinates, never live models) so
-    ``--backend process`` can pickle the work out to worker processes.
-    """
-    from repro.core import CompileBist, FlowContext, SteacConfig
-    from repro.gen import SocGenerator, roundtrip_errors
-    from repro.sched import (
-        InfeasibleScheduleError,
-        resolve_schedule,
-        schedule_lower_bound,
-    )
-    from repro.verify import verify_schedule
-
-    soc = SocGenerator(seed, profile).generate()
-    violation_count = 0
-    ctx = FlowContext(soc=soc, config=SteacConfig(compare_strategies=False))
-    CompileBist().run(ctx)
-    bound = schedule_lower_bound(soc, ctx.tasks)
-    rt_errors = roundtrip_errors(soc)
-    violation_count += len(rt_errors)
-    doc = {
-        "soc": soc.name,
-        "seed": seed,
-        "tasks": len(ctx.tasks),
-        "lower_bound": bound,
-        "roundtrip_ok": not rt_errors,
-        "roundtrip_errors": rt_errors,
-        "strategies": {},
-    }
-    for strategy in strategies:
-        if strategy == "ilp" and len(ctx.tasks) > ilp_max_tasks:
-            doc["strategies"][strategy] = {"skipped": f"> {ilp_max_tasks} tasks"}
-            continue
-        try:
-            result = resolve_schedule(strategy, soc, ctx.tasks)
-        except InfeasibleScheduleError as exc:
-            violation_count += 1
-            doc["strategies"][strategy] = {"infeasible": str(exc)}
-            continue
-        except ImportError as exc:
-            # an optional dependency (scipy for "ilp") is absent —
-            # not a scheduling violation, skip like the pipeline does
-            doc["strategies"][strategy] = {"skipped": f"optional dependency: {exc}"}
-            continue
-        except Exception as exc:
-            # a crashing scheduler is the defect class a differential
-            # harness exists to report: record it (with the replay
-            # coordinates) instead of sinking the whole sweep
-            violation_count += 1
-            doc["strategies"][strategy] = {"crashed": f"{type(exc).__name__}: {exc}"}
-            continue
-        report = verify_schedule(soc, result, tasks=ctx.tasks)
-        violation_count += len(report.errors)
-        doc["strategies"][strategy] = {
-            "total_time": result.total_time,
-            "sessions": result.session_count,
-            "ok": report.ok,
-            "violations": [v.to_dict() for v in report.violations],
-        }
-    return doc, violation_count
-
-
 def _cmd_fuzz(args: argparse.Namespace) -> int:
     """Differential fuzzing: every strategy over a generated corpus,
     every schedule invariant-checked, every chip round-tripped through
-    the ITC'02 writer/parser.  Exit 1 on any violation."""
-    import itertools
-
-    from repro.core.batch import map_backend, resolve_backend
-    from repro.sched import available_strategies
+    the ITC'02 writer/parser (the sweep itself lives in
+    :mod:`repro.gen.fuzzing`, shared with ``repro serve``).  Exit 1 on
+    any violation."""
+    from repro.gen.fuzzing import run_fuzz
     from repro.util import Table
-
-    import os
 
     if args.seeds < 1:
         raise SystemExit(f"--seeds must be at least 1, got {args.seeds}")
-    strategies = list(args.strategies or available_strategies())
-    seeds = list(range(args.seed_base, args.seed_base + args.seeds))
-    if args.workers is not None:
-        workers = max(1, args.workers)
-    elif args.backend in ("thread", "process"):
-        # an explicitly parallel backend without --workers should
-        # actually parallelize: one per seed, capped at the CPUs
-        workers = min(len(seeds), os.cpu_count() or 1) or 1
-    else:
-        workers = 1  # default sweep stays serial (plugin-registry safe)
-    backend = resolve_backend(args.backend, workers, len(seeds))
-    outcomes = map_backend(
-        _fuzz_scenario,
-        (
-            itertools.repeat(args.profile),
-            seeds,
-            itertools.repeat(tuple(strategies)),
-            itertools.repeat(args.ilp_max_tasks),
-        ),
-        backend,
-        workers,
+    report = run_fuzz(
+        profile=args.profile,
+        seeds=args.seeds,
+        seed_base=args.seed_base,
+        strategies=args.strategies,
+        ilp_max_tasks=args.ilp_max_tasks,
+        workers=args.workers,
+        backend=args.backend,
     )
-    scenario_docs = [doc for doc, _ in outcomes]
-    violation_count = sum(count for _, count in outcomes)
-    ok = violation_count == 0
+    strategies = report["strategies"]
+    scenario_docs = report["scenarios"]
+    violation_count = report["violation_count"]
+    ok = report["ok"]
     if args.json:
-        print(json.dumps(
-            {
-                "schema": "repro/fuzz-report/v1",
-                "profile": args.profile,
-                "seed_base": args.seed_base,
-                "seeds": args.seeds,
-                "strategies": strategies,
-                "ok": ok,
-                "violation_count": violation_count,
-                "scenarios": scenario_docs,
-            },
-            indent=2, sort_keys=True,
-        ))
+        print(json.dumps(report, indent=2, sort_keys=True))
         return 0 if ok else 1
     table = Table(
         ["SOC", "Tasks", "LB"] + strategies + ["Roundtrip"],
@@ -555,6 +375,38 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         print(f"reproduce a chip with: python -m repro generate "
               f"--profile {args.profile} --seed <seed>")
     return 0 if ok else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the integration service (:mod:`repro.serve`): an HTTP job
+    queue over integrate/batch/fuzz/repair with a content-addressed
+    result cache.  Serves until Ctrl-C or ``POST /shutdown``, draining
+    in-flight jobs on the way out."""
+    from repro.serve import create_server
+
+    server = create_server(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        backend=args.backend,
+        cache_dir=args.cache_dir,
+        cache_capacity=args.cache_size,
+        verbose=args.verbose,
+    )
+    cache = f", cache dir {args.cache_dir}" if args.cache_dir else ""
+    # flush so a parent process reading our pipe learns the bound port
+    # (--port 0) before the first request
+    print(
+        f"repro serve on {server.url} "
+        f"({args.workers} worker(s), backend {args.backend or 'auto'}{cache})",
+        flush=True,
+    )
+    print(
+        "POST /jobs to submit; Ctrl-C or POST /shutdown to drain and exit",
+        flush=True,
+    )
+    server.run()
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -682,6 +534,26 @@ def main(argv: list[str] | None = None) -> int:
     p_fuzz.add_argument("--json", action="store_true",
                         help="emit the machine-readable fuzz report")
     p_fuzz.set_defaults(func=_cmd_fuzz)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the HTTP job-queue service with a result cache"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default: loopback only)")
+    p_serve.add_argument("--port", type=int, default=8750,
+                         help="bind port (0 picks a free one)")
+    p_serve.add_argument("--workers", type=int, default=2,
+                         help="concurrent jobs (each job parallelizes "
+                              "internally via --backend)")
+    p_serve.add_argument("--backend", choices=_backend_choices(), default=None,
+                         help="default executor backend for submitted jobs")
+    p_serve.add_argument("--cache-dir", default=None,
+                         help="persist cached results to this directory")
+    p_serve.add_argument("--cache-size", type=int, default=256,
+                         help="in-memory result-cache entries")
+    p_serve.add_argument("--verbose", action="store_true",
+                         help="log every HTTP request to stderr")
+    p_serve.set_defaults(func=_cmd_serve)
 
     args = parser.parse_args(argv)
     return args.func(args)

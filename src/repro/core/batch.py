@@ -273,6 +273,14 @@ def _run_threads(
     return map_backend(run, (range(len(items)), items), "thread", workers)
 
 
+def auto_workers(n_items: int) -> int:
+    """The default worker count for ``n_items`` units of work: one per
+    item, capped at the CPU count, never below one.  Shared by
+    :func:`integrate_many`, the fuzz sweep, and the serving layer's
+    job-executor pool."""
+    return max(1, min(n_items, os.cpu_count() or 1))
+
+
 def resolve_backend(backend: str, workers: int, n_items: int) -> str:
     """Turn ``auto`` into a concrete backend name (and reject typos)."""
     if backend not in BACKENDS:
@@ -354,7 +362,7 @@ def integrate_many(
 
     items = list(socs)
     if workers is None:
-        workers = min(len(items), os.cpu_count() or 1) or 1
+        workers = auto_workers(len(items))
     workers = max(1, workers)
     requested = backend
     backend = resolve_backend(backend, workers, len(items))

@@ -15,6 +15,7 @@ from repro.gen.corpus import (
     scenario_specs,
     scenarios,
 )
+from repro.gen.fuzzing import FUZZ_SCHEMA, fuzz_scenario, run_fuzz
 from repro.gen.generator import SocGenerator, chip_name, generate_soc
 from repro.gen.profiles import (
     GenProfile,
@@ -32,6 +33,7 @@ from repro.gen.writer import (
 
 __all__ = [
     "DEFAULT_PROFILES",
+    "FUZZ_SCHEMA",
     "GenProfile",
     "Scenario",
     "ScenarioSpec",
@@ -39,11 +41,13 @@ __all__ = [
     "available_profiles",
     "chip_name",
     "core_to_module",
+    "fuzz_scenario",
     "generate_soc",
     "get_profile",
     "register_profile",
     "roundtrip_errors",
     "roundtrips",
+    "run_fuzz",
     "scenario_specs",
     "scenarios",
     "soc_to_modules",

@@ -1,0 +1,140 @@
+"""Differential fuzzing as a library: every registered strategy over a
+generated corpus, every schedule invariant-checked, every chip
+round-tripped through the ``.soc`` writer/parser.
+
+This is the engine behind ``python -m repro fuzz`` *and* the serving
+layer's ``fuzz`` job kind — both produce the same
+``repro/fuzz-report/v1`` document, so a campaign submitted over HTTP is
+byte-comparable with one run from the shell.  :func:`fuzz_scenario` is
+module-level and fed only ``(profile, seed)`` coordinates, never live
+models, so the process backend can pickle the work out to workers.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional, Sequence
+
+FUZZ_SCHEMA = "repro/fuzz-report/v1"
+
+
+def fuzz_scenario(
+    profile: str, seed: int, strategies: tuple, ilp_max_tasks: int
+) -> tuple[dict, int]:
+    """One fuzz scenario: generate the chip from its coordinates, race
+    every strategy, invariant-check each schedule, round-trip the
+    ``.soc`` writer/parser.  Returns ``(scenario doc, violation count)``.
+    """
+    from repro.core import CompileBist, FlowContext, SteacConfig
+    from repro.gen.generator import SocGenerator
+    from repro.gen.writer import roundtrip_errors
+    from repro.sched import (
+        InfeasibleScheduleError,
+        resolve_schedule,
+        schedule_lower_bound,
+    )
+    from repro.verify import verify_schedule
+
+    soc = SocGenerator(seed, profile).generate()
+    violation_count = 0
+    ctx = FlowContext(soc=soc, config=SteacConfig(compare_strategies=False))
+    CompileBist().run(ctx)
+    bound = schedule_lower_bound(soc, ctx.tasks)
+    rt_errors = roundtrip_errors(soc)
+    violation_count += len(rt_errors)
+    doc = {
+        "soc": soc.name,
+        "seed": seed,
+        "tasks": len(ctx.tasks),
+        "lower_bound": bound,
+        "roundtrip_ok": not rt_errors,
+        "roundtrip_errors": rt_errors,
+        "strategies": {},
+    }
+    for strategy in strategies:
+        if strategy == "ilp" and len(ctx.tasks) > ilp_max_tasks:
+            doc["strategies"][strategy] = {"skipped": f"> {ilp_max_tasks} tasks"}
+            continue
+        try:
+            result = resolve_schedule(strategy, soc, ctx.tasks)
+        except InfeasibleScheduleError as exc:
+            violation_count += 1
+            doc["strategies"][strategy] = {"infeasible": str(exc)}
+            continue
+        except ImportError as exc:
+            # an optional dependency (scipy for "ilp") is absent —
+            # not a scheduling violation, skip like the pipeline does
+            doc["strategies"][strategy] = {"skipped": f"optional dependency: {exc}"}
+            continue
+        except Exception as exc:
+            # a crashing scheduler is the defect class a differential
+            # harness exists to report: record it (with the replay
+            # coordinates) instead of sinking the whole sweep
+            violation_count += 1
+            doc["strategies"][strategy] = {"crashed": f"{type(exc).__name__}: {exc}"}
+            continue
+        report = verify_schedule(soc, result, tasks=ctx.tasks)
+        violation_count += len(report.errors)
+        doc["strategies"][strategy] = {
+            "total_time": result.total_time,
+            "sessions": result.session_count,
+            "ok": report.ok,
+            "violations": [v.to_dict() for v in report.violations],
+        }
+    return doc, violation_count
+
+
+def run_fuzz(
+    profile: str = "tiny",
+    seeds: int = 20,
+    seed_base: int = 0,
+    strategies: Optional[Sequence[str]] = None,
+    ilp_max_tasks: int = 6,
+    workers: Optional[int] = None,
+    backend: str = "auto",
+) -> dict:
+    """Run a differential fuzz sweep, returning the
+    ``repro/fuzz-report/v1`` document (``doc["ok"]`` is the verdict;
+    the CLI and the serving layer both wrap this call).
+
+    ``workers=None`` keeps an explicitly parallel backend honest (one
+    worker per seed, capped at the CPUs) and the default sweep serial —
+    serial stays safe for in-process plugin registries, whose entries
+    never reach spawned worker processes.
+    """
+    from repro.core.batch import auto_workers, map_backend, resolve_backend
+    from repro.sched import available_strategies
+
+    if seeds < 1:
+        raise ValueError(f"fuzz needs at least 1 seed, got {seeds}")
+    strategy_list = list(strategies or available_strategies())
+    seed_list = list(range(seed_base, seed_base + seeds))
+    if workers is not None:
+        worker_count = max(1, workers)
+    elif backend in ("thread", "process"):
+        worker_count = auto_workers(len(seed_list))
+    else:
+        worker_count = 1
+    resolved = resolve_backend(backend, worker_count, len(seed_list))
+    outcomes = map_backend(
+        fuzz_scenario,
+        (
+            itertools.repeat(profile),
+            seed_list,
+            itertools.repeat(tuple(strategy_list)),
+            itertools.repeat(ilp_max_tasks),
+        ),
+        resolved,
+        worker_count,
+    )
+    violation_count = sum(count for _, count in outcomes)
+    return {
+        "schema": FUZZ_SCHEMA,
+        "profile": profile,
+        "seed_base": seed_base,
+        "seeds": seeds,
+        "strategies": strategy_list,
+        "ok": violation_count == 0,
+        "violation_count": violation_count,
+        "scenarios": [doc for doc, _ in outcomes],
+    }

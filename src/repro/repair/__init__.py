@@ -45,10 +45,16 @@ from repro.repair.registry import (
     register_allocator,
     resolve_allocation,
 )
+from repro.repair.service import (
+    REPAIR_REPORT_SCHEMA,
+    render_repair_report,
+    repair_report,
+)
 
 __all__ = [
     "AnalyzeRepair",
     "DEFAULT_REDUNDANCY",
+    "REPAIR_REPORT_SCHEMA",
     "Defect",
     "DefectModel",
     "FailBitmap",
@@ -68,6 +74,8 @@ __all__ = [
     "get_allocator",
     "must_repair",
     "register_allocator",
+    "render_repair_report",
+    "repair_report",
     "resolve_allocation",
     "sample_defects",
     "solve_exact",

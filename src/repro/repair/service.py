@@ -1,0 +1,157 @@
+"""The repair showcase as a library: one chip through diagnose →
+allocate → Monte-Carlo, returning the ``repro/repair-report/v1``
+document.
+
+Extracted from the CLI ``repair`` command so the serving layer can run
+the identical analysis as a submitted job; ``python -m repro repair``
+and a ``POST /jobs`` repair request produce the same document for the
+same inputs (everything is seeded, so reports are reproducible).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.soc.soc import Soc
+
+REPAIR_REPORT_SCHEMA = "repro/repair-report/v1"
+
+
+def repair_report(
+    soc: Soc,
+    *,
+    seed: int = 7,
+    trials: int = 500,
+    workers: int = 0,
+    allocator: str = "greedy",
+    defects: int = 3,
+    defect_density: float = 0.3,
+    spare_rows: Optional[int] = None,
+    spare_cols: Optional[int] = None,
+    model_rows: int = 32,
+) -> dict:
+    """Diagnose seeded defects in every memory of ``soc``, allocate
+    spares, and score the design with a Monte-Carlo repair-rate
+    estimate — the full ``repro/repair-report/v1`` document.
+
+    The diagnosis section injects a fixed ``defects`` count per memory
+    (a deterministic showcase of bitmap capture + allocation); the
+    Monte-Carlo section samples from the ``defect_density`` model
+    instead.  A memory spec's own redundancy always wins over the
+    ``spare_rows`` / ``spare_cols`` defaults.
+    """
+    from repro.bist.march import MARCH_C_MINUS
+    from repro.repair.montecarlo import (
+        DEFECT_KINDS,
+        Defect,
+        DefectModel,
+        diagnose_defects,
+        estimate_repair_rate,
+    )
+    from repro.repair.redundancy import (
+        DEFAULT_REDUNDANCY,
+        bisr_gates,
+        diagnosis_geometry,
+    )
+    from repro.repair.registry import resolve_allocation
+    from repro.soc.memory import RedundancySpec
+
+    spares = RedundancySpec(
+        spare_rows if spare_rows is not None else DEFAULT_REDUNDANCY.spare_rows,
+        spare_cols if spare_cols is not None else DEFAULT_REDUNDANCY.spare_cols,
+    )
+    model = DefectModel(defects_per_mbit=defect_density)
+    march = MARCH_C_MINUS
+    rng = random.Random(seed)
+    memory_docs = []
+    for spec in soc.memories:
+        mem_spares = spec.redundancy if spec.redundancy is not None else spares
+        rows, cols = diagnosis_geometry(spec, model_rows)
+        injected = [
+            Defect(
+                rng.choices(DEFECT_KINDS, weights=model.kind_weights)[0],
+                rng.randrange(rows),
+                rng.randrange(cols),
+            )
+            for _ in range(defects)
+        ]
+        bitmap = diagnose_defects(injected, spec, march, model_rows)
+        allocation = resolve_allocation(allocator, bitmap, mem_spares)
+        memory_docs.append(
+            {
+                "name": spec.name,
+                "geometry": spec.describe(),
+                "rows": rows,
+                "cols": cols,
+                "spares": {"rows": mem_spares.spare_rows, "cols": mem_spares.spare_cols},
+                "defects_injected": len(injected),
+                "bitmap": bitmap.to_dict(),
+                "allocation": allocation.to_dict(),
+                "bisr_gates": round(bisr_gates(spec, mem_spares), 1),
+            }
+        )
+    rate = estimate_repair_rate(
+        soc.memories,
+        trials=trials,
+        seed=seed,
+        workers=workers,
+        allocator=allocator,
+        model=model,
+        default_spares=spares,
+        model_rows=model_rows,
+    )
+    return {
+        "schema": REPAIR_REPORT_SCHEMA,
+        "soc": soc.name,
+        "march": march.name,
+        "allocator": allocator,
+        "spares": {"rows": spares.spare_rows, "cols": spares.spare_cols},
+        "memories": memory_docs,
+        "monte_carlo": rate.to_dict(),
+    }
+
+
+def render_repair_report(doc: dict) -> str:
+    """Human-readable rendering of a ``repro/repair-report/v1`` document
+    (the CLI's non-``--json`` output)."""
+    from repro.repair.montecarlo import RepairRateResult
+    from repro.util import Table
+
+    spares = doc["spares"]
+    table = Table(
+        ["Memory", "Geometry", "Defects", "Fails", "Allocation", "BISR gates"],
+        title=f"Diagnosis & repair ({doc['march']}, "
+        f"{spares['rows']}R+{spares['cols']}C spares, "
+        f"allocator {doc['allocator']})",
+    )
+    for memory in doc["memories"]:
+        alloc = memory["allocation"]
+        verdict = (
+            f"{len(alloc['rows'])}R+{len(alloc['cols'])}C"
+            if alloc["repairable"]
+            else "UNREPAIRABLE"
+        )
+        table.add_row(
+            [
+                memory["name"],
+                memory["geometry"],
+                memory["defects_injected"],
+                memory["bitmap"]["fail_count"],
+                verdict,
+                memory["bisr_gates"],
+            ]
+        )
+    mc = doc["monte_carlo"]
+    rate = RepairRateResult(
+        trials=mc["trials"],
+        clean_chips=mc["clean_chips"],
+        repaired_chips=mc["repaired_chips"],
+        dead_chips=mc["dead_chips"],
+        total_defects=mc["total_defects"],
+        memory_fails=mc["memory_fails"],
+        memory_repairs=mc["memory_repairs"],
+        seed=mc["seed"],
+        allocator=mc["allocator"],
+    )
+    return table.render() + "\n\n" + rate.render()

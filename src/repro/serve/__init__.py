@@ -1,0 +1,48 @@
+"""Integration-as-a-service: an HTTP job queue over the STEAC platform.
+
+The platform's four entry points — ``integrate``, ``batch``, ``fuzz``,
+``repair`` — become *submitted jobs*: ``POST /jobs`` returns a job id,
+``GET /jobs/<id>`` reports progress, and finished jobs carry the exact
+wire documents (``repro/integration-result/v3`` and friends) the CLI
+emits, so shell and HTTP consumers are byte-comparable.
+
+Results are content-addressed: the cache key is sha256 over the
+normalized job config plus the :meth:`repro.soc.Soc.digest` of every
+chip involved, so resubmitting identical work — inline ``.soc`` text,
+generator coordinates, or a named benchmark — answers instantly from
+the :class:`ResultCache` (in-memory LRU, optional on-disk store) with
+``cached: true`` and a bit-identical document.
+
+Everything is stdlib (``http.server``, ``json``, ``urllib``): the
+service adds no dependencies over the library it wraps.  Start one with
+``python -m repro serve`` or in-process via :func:`create_server`.
+"""
+
+from repro.serve.cache import ResultCache
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.jobs import JOB_SCHEMA, Job, JobManager
+from repro.serve.keys import (
+    JOB_KINDS,
+    JobError,
+    cache_key,
+    normalize_payload,
+)
+from repro.serve.runners import content_address, execute
+from repro.serve.server import ServeServer, create_server
+
+__all__ = [
+    "JOB_KINDS",
+    "JOB_SCHEMA",
+    "Job",
+    "JobError",
+    "JobManager",
+    "ResultCache",
+    "ServeClient",
+    "ServeError",
+    "ServeServer",
+    "cache_key",
+    "content_address",
+    "create_server",
+    "execute",
+    "normalize_payload",
+]

@@ -1,0 +1,145 @@
+"""Content-addressed result cache: in-memory LRU over an optional
+on-disk store.
+
+Keys are sha256 hex digests (see :mod:`repro.serve.keys`) — the content
+address of *what was asked*: the SOC digest(s) plus the normalized job
+configuration.  Values are the serialized result documents, stored as
+the exact JSON-native text that first produced them, so a hit returns a
+**bit-identical** result to the miss that populated it.
+
+Two tiers:
+
+* an in-memory LRU (``capacity`` entries, thread-safe) absorbs the hot
+  set — users sweeping the same benchmark chips hit here in
+  microseconds;
+* an optional directory store (``cache_dir``) persists every entry as
+  ``<key>.json`` (written atomically: temp file + rename), so cache
+  contents survive server restarts and can be shared between servers on
+  one filesystem.  A memory miss that hits disk is promoted back into
+  the LRU.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import threading
+from collections import OrderedDict
+from pathlib import Path
+from typing import Optional
+
+
+class ResultCache:
+    """Thread-safe LRU + optional directory store for result documents.
+
+    Args:
+        capacity: in-memory entry budget (least-recently-*used* entry is
+            evicted first; 0 disables the memory tier, leaving a purely
+            on-disk cache).
+        cache_dir: directory for the persistent tier (created on first
+            write; ``None`` keeps the cache memory-only).
+    """
+
+    def __init__(self, capacity: int = 256, cache_dir: str | Path | None = None):
+        if capacity < 0:
+            raise ValueError(f"cache capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self._entries: OrderedDict[str, str] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.disk_hits = 0
+
+    # -- tiers -------------------------------------------------------------
+
+    def _disk_path(self, key: str) -> Optional[Path]:
+        if self.cache_dir is None:
+            return None
+        if not key or any(ch not in "0123456789abcdef" for ch in key):
+            # keys are sha256 hex by construction; refuse anything that
+            # could traverse outside the store
+            raise ValueError(f"cache key {key!r} is not a hex digest")
+        return self.cache_dir / f"{key}.json"
+
+    def _remember(self, key: str, text: str) -> None:
+        """Insert into the LRU (caller holds the lock)."""
+        if self.capacity == 0:
+            return
+        self._entries[key] = text
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    # -- public API --------------------------------------------------------
+
+    def get(self, key: str) -> Optional[str]:
+        """The stored text for ``key``, or ``None`` on a miss.  Disk
+        hits are promoted into the memory tier."""
+        path = self._disk_path(key)
+        with self._lock:
+            text = self._entries.get(key)
+            if text is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return text
+            if path is not None and path.is_file():
+                text = path.read_text()
+                self._remember(key, text)
+                self.hits += 1
+                self.disk_hits += 1
+                return text
+            self.misses += 1
+            return None
+
+    def put(self, key: str, text: str) -> None:
+        """Store ``text`` under ``key`` in both tiers."""
+        path = self._disk_path(key)
+        with self._lock:
+            self._remember(key, text)
+            if path is not None:
+                path.parent.mkdir(parents=True, exist_ok=True)
+                # atomic publish: a reader never sees a torn entry
+                fd, tmp = tempfile.mkstemp(
+                    dir=str(path.parent), prefix=f".{key[:8]}-", suffix=".tmp"
+                )
+                try:
+                    with os.fdopen(fd, "w") as handle:
+                        handle.write(text)
+                    os.replace(tmp, path)
+                except BaseException:
+                    try:
+                        os.unlink(tmp)
+                    except OSError:
+                        pass
+                    raise
+
+    def clear(self) -> None:
+        """Drop the memory tier (the disk store, if any, is kept — it is
+        the durable tier; delete the directory to reset it)."""
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        path = self._disk_path(key)
+        with self._lock:
+            return key in self._entries or (path is not None and path.is_file())
+
+    def stats(self) -> dict:
+        """Counters for ``GET /stats``."""
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "disk_hits": self.disk_hits,
+                "evictions": self.evictions,
+                "disk": str(self.cache_dir) if self.cache_dir is not None else None,
+            }

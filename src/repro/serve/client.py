@@ -1,0 +1,123 @@
+"""Stdlib client for the serving API (:mod:`urllib` — importable
+anywhere the server is).
+
+The tests, the CI smoke check, and the serving benchmark all speak to
+the server through this client, so it doubles as the reference
+consumer of the wire protocol::
+
+    client = ServeClient("http://127.0.0.1:8750")
+    job = client.submit({"kind": "integrate", "soc": {"name": "d695"}})
+    job = client.wait(job["id"])
+    doc = client.result(job["id"])          # the raw v3 document
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Optional
+
+
+class ServeError(RuntimeError):
+    """A non-2xx answer from the server (carries the HTTP status and
+    the server's error detail)."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.detail = message
+
+
+class ServeClient:
+    """Thin blocking client over :mod:`urllib.request`."""
+
+    def __init__(self, base_url: str, timeout: float = 60.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport ---------------------------------------------------------
+
+    def request_text(
+        self, method: str, path: str, payload: Optional[dict] = None
+    ) -> str:
+        """One HTTP exchange, returning the response body as text."""
+        body = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            f"{self.base_url}{path}", data=body, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return response.read().decode("utf-8")
+        except urllib.error.HTTPError as exc:
+            raw = exc.read().decode("utf-8", errors="replace")
+            try:
+                detail = json.loads(raw).get("error", raw)
+            except (json.JSONDecodeError, AttributeError):
+                detail = raw
+            raise ServeError(exc.code, detail) from exc
+
+    def request(self, method: str, path: str, payload: Optional[dict] = None) -> dict:
+        return json.loads(self.request_text(method, path, payload))
+
+    # -- API ---------------------------------------------------------------
+
+    def healthy(self) -> bool:
+        try:
+            return bool(self.request("GET", "/healthz").get("ok"))
+        except (ServeError, OSError):
+            return False
+
+    def wait_healthy(self, timeout: float = 10.0, interval: float = 0.05) -> None:
+        """Poll ``/healthz`` until the server answers (for freshly
+        spawned servers); raises :class:`TimeoutError` otherwise."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self.healthy():
+                return
+            time.sleep(interval)
+        raise TimeoutError(f"server at {self.base_url} not healthy after {timeout}s")
+
+    def submit(self, payload: dict) -> dict:
+        """``POST /jobs`` — the created job document (already ``done``
+        on a cache hit)."""
+        return self.request("POST", "/jobs", payload)
+
+    def job(self, job_id: str) -> dict:
+        return self.request("GET", f"/jobs/{job_id}")
+
+    def jobs(self) -> list[dict]:
+        return self.request("GET", "/jobs")["jobs"]
+
+    def result_text(self, job_id: str) -> str:
+        """The stored result document, byte-for-byte."""
+        return self.request_text("GET", f"/jobs/{job_id}/result")
+
+    def result(self, job_id: str) -> dict:
+        return json.loads(self.result_text(job_id))
+
+    def wait(self, job_id: str, timeout: float = 120.0, interval: float = 0.02) -> dict:
+        """Poll until the job leaves the queue/run states; returns the
+        final job document (``done`` or ``failed``)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            doc = self.job(job_id)
+            if doc["status"] in ("done", "failed"):
+                return doc
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {doc['status']!r} after {timeout}s"
+                )
+            time.sleep(interval)
+
+    def stats(self) -> dict:
+        return self.request("GET", "/stats")
+
+    def shutdown(self) -> None:
+        """Ask the server to drain and exit."""
+        self.request("POST", "/shutdown")

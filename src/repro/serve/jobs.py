@@ -1,0 +1,259 @@
+"""Job lifecycle: submit → queue → run → done/failed, with the cache
+short-circuiting repeat work at submit time.
+
+A job moves through four states::
+
+    queued ──> running ──> done
+       │          └──────> failed       (user-caused: JobError)
+       └─────────────────> failed       (bad chip reference at submit)
+
+plus the fast path: a submit whose content address hits the cache is
+born ``done`` with ``cached: true`` — no queue round-trip, the stored
+result text is returned verbatim.
+
+The worker pool is a handful of daemon threads feeding off one queue;
+each job's *internal* parallelism (batch fan-out, fuzz sweeps,
+Monte-Carlo trials) goes through :mod:`repro.core.batch` backends, so
+the thread count here bounds concurrent jobs, not concurrent chips.
+"""
+
+from __future__ import annotations
+
+import json
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.serve.cache import ResultCache
+from repro.serve.keys import JobError, normalize_payload
+from repro.serve.runners import content_address, execute
+
+JOB_SCHEMA = "repro/serve-job/v1"
+
+JOB_STATES = ("queued", "running", "done", "failed")
+
+_SENTINEL = None
+
+
+@dataclass
+class Job:
+    """One submitted unit of work and its lifecycle record."""
+
+    id: str
+    normalized: dict
+    execution: dict
+    cache_key: Optional[str] = None
+    work: list = field(default_factory=list)
+    status: str = "queued"
+    cached: bool = False
+    error: Optional[str] = None
+    result_text: Optional[str] = None
+    submitted_at: float = 0.0
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+
+    @property
+    def kind(self) -> str:
+        return self.normalized["kind"]
+
+    def timing(self) -> dict:
+        """Wall-clock checkpoints and the derived queue/run durations."""
+        queued = run = None
+        if self.started_at is not None:
+            queued = round(self.started_at - self.submitted_at, 6)
+            if self.finished_at is not None:
+                run = round(self.finished_at - self.started_at, 6)
+        return {
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "queued_seconds": queued,
+            "run_seconds": run,
+        }
+
+    def to_dict(self, include_result: bool = True) -> dict:
+        doc = {
+            "schema": JOB_SCHEMA,
+            "id": self.id,
+            "kind": self.kind,
+            "status": self.status,
+            "cached": self.cached,
+            "cache_key": self.cache_key,
+            "timing": self.timing(),
+        }
+        if self.error is not None:
+            doc["error"] = self.error
+        if include_result and self.result_text is not None:
+            doc["result"] = json.loads(self.result_text)
+        return doc
+
+
+def result_to_text(doc: dict) -> str:
+    """The serialized form of a result document — produced exactly once
+    per cache entry, so hits are bit-identical to the populating miss."""
+    return json.dumps(doc, indent=2)
+
+
+class JobManager:
+    """Worker pool + job table + result cache.
+
+    Args:
+        workers: concurrent jobs (daemon threads).
+        cache: result store (a default in-memory :class:`ResultCache`
+            if omitted).
+        default_backend: ``repro.core.batch`` backend for jobs that do
+            not pin one ("auto" if omitted).
+    """
+
+    def __init__(
+        self,
+        workers: int = 2,
+        cache: Optional[ResultCache] = None,
+        default_backend: Optional[str] = None,
+    ):
+        if workers < 1:
+            raise ValueError(f"job manager needs at least 1 worker, got {workers}")
+        self.cache = cache if cache is not None else ResultCache()
+        self.default_backend = default_backend
+        self._jobs: dict[str, Job] = {}
+        self._lock = threading.Lock()
+        self._queue: queue.Queue = queue.Queue()
+        self._counter = 0
+        self._closed = False
+        self.started = time.time()
+        self._threads = [
+            threading.Thread(target=self._worker, name=f"serve-worker-{i}", daemon=True)
+            for i in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # -- submission --------------------------------------------------------
+
+    def submit(self, payload) -> Job:
+        """Validate, content-address, and enqueue one job.
+
+        Raises :class:`JobError` for structurally invalid payloads (the
+        server maps that to HTTP 400 — no job is created).  Semantic
+        failures *inside* a valid payload (unparsable ``.soc`` text,
+        unknown profile) do create a job, born ``failed`` with the
+        error detail, so the submitter gets a durable record to inspect.
+        """
+        normalized, execution = normalize_payload(payload)
+        if execution["backend"] is None:
+            execution["backend"] = self.default_backend
+        now = time.time()
+        with self._lock:
+            if self._closed:
+                raise JobError("server is shutting down; job rejected")
+            self._counter += 1
+            job = Job(
+                id=f"j-{self._counter:06d}",
+                normalized=normalized,
+                execution=execution,
+                submitted_at=now,
+            )
+            self._jobs[job.id] = job
+        try:
+            job.cache_key, job.work = content_address(normalized)
+        except JobError as exc:
+            with self._lock:
+                job.status = "failed"
+                job.error = str(exc)
+                job.started_at = job.finished_at = time.time()
+            return job
+        cached = self.cache.get(job.cache_key)
+        with self._lock:
+            if cached is not None:
+                job.status = "done"
+                job.cached = True
+                job.result_text = cached
+                job.started_at = job.finished_at = time.time()
+            else:
+                self._queue.put(job.id)
+        return job
+
+    # -- execution ---------------------------------------------------------
+
+    def _worker(self) -> None:
+        while True:
+            job_id = self._queue.get()
+            if job_id is _SENTINEL:
+                return
+            job = self._jobs[job_id]
+            with self._lock:
+                if job.status != "queued":  # cancelled by a non-drain close
+                    continue
+                job.status = "running"
+                job.started_at = time.time()
+            try:
+                doc = execute(job.normalized, job.work, job.execution)
+                text = result_to_text(doc)
+            except JobError as exc:
+                with self._lock:
+                    job.status = "failed"
+                    job.error = str(exc)
+                    job.finished_at = time.time()
+                continue
+            except Exception as exc:  # noqa: BLE001 — a worker must not die
+                with self._lock:
+                    job.status = "failed"
+                    job.error = f"internal error: {type(exc).__name__}: {exc}"
+                    job.finished_at = time.time()
+                continue
+            self.cache.put(job.cache_key, text)
+            with self._lock:
+                job.result_text = text
+                job.status = "done"
+                job.finished_at = time.time()
+
+    # -- inspection --------------------------------------------------------
+
+    def get(self, job_id: str) -> Optional[Job]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> list[Job]:
+        """Every job, in submission order."""
+        with self._lock:
+            return list(self._jobs.values())
+
+    def stats(self) -> dict:
+        with self._lock:
+            by_status = {state: 0 for state in JOB_STATES}
+            for job in self._jobs.values():
+                by_status[job.status] += 1
+            submitted = self._counter
+        doc = {
+            "schema": "repro/serve-stats/v1",
+            "uptime_seconds": round(time.time() - self.started, 3),
+            "workers": len(self._threads),
+            "default_backend": self.default_backend or "auto",
+            "jobs": {"submitted": submitted, **by_status},
+            "cache": self.cache.stats(),
+        }
+        return doc
+
+    # -- shutdown ----------------------------------------------------------
+
+    def close(self, drain: bool = True) -> None:
+        """Stop the pool.  ``drain=True`` finishes every queued job
+        first; ``drain=False`` fails still-queued jobs (in-flight jobs
+        always run to completion — results are never torn)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        if not drain:
+            with self._lock:
+                for job in self._jobs.values():
+                    if job.status == "queued":
+                        job.status = "failed"
+                        job.error = "server stopped before execution"
+                        job.finished_at = time.time()
+        for _ in self._threads:
+            self._queue.put(_SENTINEL)
+        for thread in self._threads:
+            thread.join()

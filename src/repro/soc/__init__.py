@@ -9,6 +9,7 @@ and the public ITC'02 d695 benchmark (:mod:`repro.soc.itc02`).
 
 from repro.soc.clocks import ClockDomain, Pll
 from repro.soc.core import ControlNeeds, Core, CoreType
+from repro.soc.digest import canonical_soc, soc_digest
 from repro.soc.memory import MemorySpec, MemoryType, RedundancySpec
 from repro.soc.ports import Direction, Port, PortCounts, SignalKind, make_bus
 from repro.soc.scan import ScanChain, rebalance_lengths, total_flops
@@ -36,6 +37,8 @@ __all__ = [
     "CoreTest",
     "TestKind",
     "bist_test",
+    "canonical_soc",
     "functional_test",
     "scan_test",
+    "soc_digest",
 ]

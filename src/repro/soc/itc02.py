@@ -135,6 +135,33 @@ def soc_from_modules(
     return soc
 
 
+def soc_from_text(
+    text: str,
+    test_pins: int = 64,
+    power_budget: float = 0.0,
+    power: float = 1.0,
+    name: str | None = None,
+) -> Soc:
+    """Build a :class:`Soc` straight from ``.soc`` exchange text.
+
+    The composition of :func:`parse_soc` and :func:`soc_from_modules` —
+    the entry point ``repro.serve`` uses for jobs that carry inline
+    ``.soc`` bodies.  ``name`` overrides a missing ``SocName`` directive
+    (without it, an unnamed file is an error); chips with at least the
+    default budgets round-trip digest-identically through
+    :func:`repro.gen.writer.soc_to_text`.
+    """
+    parsed_name, modules = parse_soc(text)
+    soc_name = name or parsed_name
+    if soc_name is None:
+        raise ValueError(".soc text has no SocName directive and no name override")
+    if not modules:
+        raise ValueError(f".soc text for {soc_name!r} declares no Module lines")
+    return soc_from_modules(
+        soc_name, modules, test_pins=test_pins, power_budget=power_budget, power=power
+    )
+
+
 def module_to_core(module: Itc02Module, power: float = 1.0) -> Core:
     """Convert an ITC'02 module into a :class:`repro.soc.Core`.
 

@@ -100,6 +100,19 @@ class Soc:
         paper's "total test IOs of the three large cores are 19")."""
         return sum(c.control_needs.total for c in self.wrapped_cores)
 
+    def digest(self) -> str:
+        """The chip's stable content address (sha256 hex).
+
+        Taken over the canonical serialization in
+        :mod:`repro.soc.digest`: equal for structurally identical chips
+        no matter how they were built, different under any core / pin /
+        power / memory mutation.  ``repro.serve`` keys its result cache
+        on it; fuzz campaigns can dedupe chips by it.
+        """
+        from repro.soc.digest import soc_digest
+
+        return soc_digest(self)
+
     def describe(self) -> str:
         """One-line chip summary for reports."""
         return (

@@ -266,6 +266,26 @@ class TestFuzzCommand:
         finally:
             _REGISTRY.pop("lossy", None)
 
+    def test_violations_set_exit_code_json(self, capsys):
+        """--json must carry the verdict in-band (ok=false,
+        violation_count>0) and still exit 1."""
+        from repro.sched import SharingPolicy
+        from repro.sched.registry import _REGISTRY, register_scheduler
+        from repro.sched.session import schedule_serial
+
+        @register_scheduler("lossy")
+        def lossy(soc, tasks, *, n_sessions=None, policy=None):
+            return schedule_serial(soc, tasks[1:], policy=policy or SharingPolicy())
+
+        try:
+            assert main(["fuzz", "--seeds", "2", "--profile", "tiny",
+                         "--strategies", "lossy", "--json"]) == 1
+            doc = json.loads(capsys.readouterr().out)
+            assert doc["ok"] is False
+            assert doc["violation_count"] > 0
+        finally:
+            _REGISTRY.pop("lossy", None)
+
     def test_unknown_strategy_rejected(self):
         with pytest.raises(SystemExit):
             main(["fuzz", "--seeds", "1", "--strategies", "magic"])
@@ -319,6 +339,44 @@ class TestBatchCommand:
         out = capsys.readouterr().out
         assert "gen_tiny_s3_0" in out and "gen_tiny_s4_0" in out
         assert "Invariants" in out and "clean" in out
+
+    def test_verify_violation_sets_exit_code(self, capsys):
+        """``batch --verify`` under a schedule-dropping strategy must
+        exit non-zero — scripts gate on it."""
+        from repro.sched import SharingPolicy
+        from repro.sched.registry import _REGISTRY, register_scheduler
+        from repro.sched.session import schedule_serial
+
+        @register_scheduler("lossy")
+        def lossy(soc, tasks, *, n_sessions=None, policy=None):
+            return schedule_serial(soc, tasks[1:], policy=policy or SharingPolicy())
+
+        try:
+            assert main(["batch", "dsc:28", "--strategy", "lossy",
+                         "--verify"]) == 1
+            assert "1 violations" in capsys.readouterr().out
+        finally:
+            _REGISTRY.pop("lossy", None)
+
+    def test_verify_violation_json_exit_code(self, capsys):
+        """The --json variant must agree with the human one: ok=false
+        in the document AND exit 1."""
+        from repro.sched import SharingPolicy
+        from repro.sched.registry import _REGISTRY, register_scheduler
+        from repro.sched.session import schedule_serial
+
+        @register_scheduler("lossy")
+        def lossy(soc, tasks, *, n_sessions=None, policy=None):
+            return schedule_serial(soc, tasks[1:], policy=policy or SharingPolicy())
+
+        try:
+            assert main(["batch", "dsc:28", "--strategy", "lossy",
+                         "--verify", "--json"]) == 1
+            doc = json.loads(capsys.readouterr().out)
+            assert doc["ok"] is False
+            assert doc["items"][0]["verification_ok"] is False
+        finally:
+            _REGISTRY.pop("lossy", None)
 
     def test_generated_spec_json_carries_verification(self, capsys):
         assert main(["batch", "gen-tiny-5", "--verify", "--json"]) == 0

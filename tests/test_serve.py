@@ -1,0 +1,259 @@
+"""End-to-end tests for the serving layer: a real ThreadingHTTPServer
+on a loopback port, driven through the stdlib client.
+
+Jobs use the tiny generator profile (or dsc with few trials) so the
+suite stays fast; the d695 acceptance path is exercised by the CI smoke
+step and the serving benchmark.
+"""
+
+import json
+import subprocess
+import sys
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.serve import (
+    JOB_SCHEMA,
+    JobError,
+    JobManager,
+    ResultCache,
+    ServeClient,
+    ServeError,
+    create_server,
+)
+
+TINY = {"kind": "integrate", "soc": {"spec": {"profile": "tiny", "seed": 11}}}
+
+
+@pytest.fixture()
+def server():
+    server = create_server(workers=2)
+    thread = threading.Thread(target=server.run, daemon=True)
+    thread.start()
+    client = ServeClient(server.url, timeout=30.0)
+    client.wait_healthy()
+    yield client
+    server.stop()
+    thread.join(timeout=10)
+
+
+class TestJobLifecycle:
+    def test_submit_poll_result(self, server):
+        job = server.submit(TINY)
+        assert job["schema"] == JOB_SCHEMA
+        assert job["id"].startswith("j-")
+        assert job["kind"] == "integrate"
+        assert job["status"] in ("queued", "running", "done")
+        done = server.wait(job["id"])
+        assert done["status"] == "done"
+        assert done["cached"] is False
+        timing = done["timing"]
+        assert timing["queued_seconds"] >= 0
+        assert timing["run_seconds"] >= 0
+        result = server.result(job["id"])
+        assert result["schema"] == "repro/integration-result/v3"
+        assert result["soc"]["name"] == "gen_tiny_s11_0"
+
+    def test_unknown_job_is_404(self, server):
+        with pytest.raises(ServeError) as err:
+            server.job("j-999999")
+        assert err.value.status == 404
+        with pytest.raises(ServeError) as err:
+            server.result("j-999999")
+        assert err.value.status == 404
+
+    def test_unfinished_result_is_409(self, server):
+        bad = server.submit({"kind": "integrate", "soc": {"soc_text": "junk"}})
+        with pytest.raises(ServeError) as err:
+            server.result(bad["id"])
+        assert err.value.status == 409
+
+    def test_malformed_soc_text_becomes_failed_job(self, server):
+        job = server.submit({"kind": "integrate", "soc": {"soc_text": "garbage"}})
+        assert job["status"] == "failed"
+        assert "unparsable soc_text" in job["error"]
+        assert "directive" in job["error"]
+        # the failed job is a durable, queryable record
+        again = server.job(job["id"])
+        assert again["status"] == "failed" and again["error"] == job["error"]
+
+    def test_structural_error_is_400_and_creates_no_job(self, server):
+        before = len(server.jobs())
+        for payload in (
+            {"kind": "compile"},
+            {"kind": "integrate"},
+            {"kind": "integrate", "soc": {"name": "d695"}, "bogus": 1},
+            {"kind": "fuzz", "seeds": 0},
+        ):
+            with pytest.raises(ServeError) as err:
+                server.submit(payload)
+            assert err.value.status == 400
+        assert len(server.jobs()) == before
+
+    def test_non_json_body_is_400(self, server):
+        with pytest.raises(ServeError) as err:
+            server.request("POST", "/jobs", payload=None)
+        assert err.value.status == 400
+
+    def test_listing_orders_jobs_without_results(self, server):
+        first = server.submit(TINY)
+        second = server.submit({"kind": "integrate", "soc": {"soc_text": "bad"}})
+        listing = server.jobs()
+        ids = [doc["id"] for doc in listing]
+        assert ids.index(first["id"]) < ids.index(second["id"])
+        assert all("result" not in doc for doc in listing)
+
+    def test_unknown_path_is_404(self, server):
+        with pytest.raises(ServeError) as err:
+            server.request("GET", "/nope")
+        assert err.value.status == 404
+
+
+class TestCacheOverHttp:
+    def test_identical_submit_hits_cache_bit_identically(self, server):
+        first = server.wait(server.submit(TINY)["id"])
+        assert first["cached"] is False
+        second = server.submit(TINY)
+        # born done: no queue round-trip on a hit
+        assert second["status"] == "done"
+        assert second["cached"] is True
+        assert second["id"] != first["id"]
+        assert server.result_text(second["id"]) == server.result_text(first["id"])
+        stats = server.stats()
+        assert stats["cache"]["hits"] >= 1
+
+    def test_execution_params_share_the_entry(self, server):
+        server.wait(server.submit({
+            "kind": "batch", "socs": [{"spec": {"profile": "tiny", "seed": 3}}],
+        })["id"])
+        hit = server.submit({
+            "kind": "batch", "socs": [{"spec": {"profile": "tiny", "seed": 3}}],
+            "backend": "thread", "workers": 2,
+        })
+        assert hit["cached"] is True
+
+    def test_different_work_misses(self, server):
+        server.wait(server.submit(TINY)["id"])
+        other = dict(TINY, strategy="serial")
+        miss = server.submit(other)
+        assert miss["cached"] is False
+        assert server.wait(miss["id"])["status"] == "done"
+
+
+class TestOtherJobKinds:
+    def test_fuzz_job(self, server):
+        job = server.wait(server.submit({
+            "kind": "fuzz", "profile": "tiny", "seeds": 2,
+            "strategies": ["session"],
+        })["id"])
+        assert job["status"] == "done"
+        doc = server.result(job["id"])
+        assert doc["schema"] == "repro/fuzz-report/v1"
+        assert doc["ok"] is True and len(doc["scenarios"]) == 2
+
+    def test_repair_job(self, server):
+        job = server.wait(server.submit({
+            "kind": "repair", "soc": {"name": "dsc"}, "trials": 20,
+        })["id"])
+        assert job["status"] == "done"
+        doc = server.result(job["id"])
+        assert doc["schema"] == "repro/repair-report/v1"
+
+    def test_batch_job(self, server):
+        job = server.wait(server.submit({
+            "kind": "batch",
+            "socs": [
+                {"spec": {"profile": "tiny", "seed": 1}},
+                {"spec": {"profile": "tiny", "seed": 2}},
+            ],
+            "verify": True,
+        })["id"])
+        assert job["status"] == "done"
+        doc = server.result(job["id"])
+        assert doc["schema"] == "repro/batch-result/v3"
+        assert doc["ok"] is True and len(doc["items"]) == 2
+
+    def test_unknown_strategy_fails_the_job_not_the_server(self, server):
+        job = server.wait(server.submit(dict(TINY, strategy="magic"))["id"])
+        assert job["status"] == "failed"
+        assert "magic" in job["error"]
+        assert server.healthy()
+
+
+class TestStats:
+    def test_stats_shape(self, server):
+        server.wait(server.submit(TINY)["id"])
+        server.submit(TINY)  # cache hit
+        stats = server.stats()
+        assert stats["schema"] == "repro/serve-stats/v1"
+        assert stats["workers"] == 2
+        assert stats["jobs"]["submitted"] >= 2
+        assert stats["jobs"]["done"] >= 2
+        assert stats["cache"]["hits"] >= 1
+        assert stats["uptime_seconds"] >= 0
+
+
+class TestManagerDirect:
+    """Lifecycle corners easier to pin without HTTP in the loop."""
+
+    def test_submit_after_close_rejected(self):
+        manager = JobManager(workers=1)
+        manager.close()
+        with pytest.raises(JobError, match="shutting down"):
+            manager.submit(TINY)
+
+    def test_drain_finishes_queued_jobs(self):
+        manager = JobManager(workers=1)
+        jobs = [manager.submit(dict(TINY, soc={"spec": {"profile": "tiny", "seed": s}}))
+                for s in range(3)]
+        manager.close(drain=True)
+        assert all(job.status == "done" for job in jobs)
+
+    def test_disk_cache_survives_manager_restart(self, tmp_path):
+        first = JobManager(workers=1, cache=ResultCache(cache_dir=tmp_path))
+        job = first.submit(TINY)
+        first.close(drain=True)
+        assert job.status == "done"
+        second = JobManager(workers=1, cache=ResultCache(cache_dir=tmp_path))
+        hit = second.submit(TINY)
+        assert hit.status == "done" and hit.cached is True
+        assert hit.result_text == job.result_text
+        second.close()
+
+    def test_worker_count_validated(self):
+        with pytest.raises(ValueError):
+            JobManager(workers=0)
+
+
+class TestServeCli:
+    def test_serve_command_end_to_end(self, tmp_path):
+        """`python -m repro serve --port 0`: parse the bound URL from
+        stdout, run a job through it, shut down over HTTP, exit 0."""
+        repo = Path(__file__).resolve().parent.parent
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0",
+             "--workers", "1", "--cache-dir", str(tmp_path / "cache")],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            cwd=repo,
+            env={"PYTHONPATH": str(repo / "src"), "PATH": "/usr/bin:/bin"},
+        )
+        try:
+            banner = proc.stdout.readline()
+            assert "repro serve on http://" in banner
+            url = banner.split()[3]
+            client = ServeClient(url, timeout=30.0)
+            client.wait_healthy()
+            job = client.wait(client.submit(TINY)["id"])
+            assert job["status"] == "done"
+            assert json.loads(client.result_text(job["id"]))["schema"] == \
+                "repro/integration-result/v3"
+            client.shutdown()
+            assert proc.wait(timeout=15) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
