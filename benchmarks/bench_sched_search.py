@@ -1,0 +1,309 @@
+"""Session-search throughput: the incremental engine vs the retained
+reference, cold vs warm scan-time-table cache, across generated corpora.
+
+Like ``bench_serve_cache.py`` this is a standalone harness (the
+quantity under test is end-to-end chips scheduled per second, and the
+cold/warm split needs explicit control of the process-level cache)::
+
+    PYTHONPATH=src python benchmarks/bench_sched_search.py [-o BENCH_sched.json]
+    PYTHONPATH=src python benchmarks/bench_sched_search.py --smoke --check BENCH_sched.json
+
+The measurements land in ``BENCH_sched.json`` (schema
+``repro/bench-sched/v1``), the scheduler's performance-trajectory file:
+
+* **corpus rates** — chips/sec for ``tasks_from_soc`` + ``schedule_sessions``
+  over generated corpora, run twice: *cold* (process cache cleared) and
+  *warm* (a structurally identical corpus rebuilt from the same seeds,
+  so every scan-time table is a digest hit).
+* **reference race** — the incremental engine against
+  ``schedule_sessions_reference`` on the same prebuilt task lists, with
+  every schedule compared bit-for-bit.  This is the machine-independent
+  number: the acceptance gate requires >= 3x.
+* **backend race** — full-flow chips/sec over a spec-based d695-like
+  corpus, serial vs process executor (warm workers keep the table
+  cache across work items).
+* **floor gap** — achieved makespan over ``session_schedule_floor``,
+  how much the bound-pruning cutoff leaves on the table.
+
+``--check FILE`` compares the measured warm d695-like chips/sec against
+a committed baseline and exits nonzero on a >2x regression — the CI
+smoke gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import statistics
+import sys
+import time
+
+#: (profile, corpus size) per mode; seeds are 0..n-1 so every run and
+#: every machine schedules the same chips.
+CORPORA = {
+    "full": (("tiny", 40), ("d695-like", 12), ("large", 3)),
+    "smoke": (("tiny", 8), ("d695-like", 3)),
+}
+RACE_PROFILE = "d695-like"
+RACE_CHIPS = {"full": 4, "smoke": 2}
+BACKEND_CHIPS = {"full": 8, "smoke": 4}
+SPEEDUP_TARGET = 3.0
+REGRESSION_FACTOR = 2.0
+CHECK_PROFILE = "d695-like"
+
+
+def build_corpus(profile: str, count: int):
+    from repro.gen import SocGenerator
+
+    return [SocGenerator(seed, profile).generate() for seed in range(count)]
+
+
+def schedule_corpus(socs) -> tuple[float, list]:
+    """Time ``tasks_from_soc`` + ``schedule_sessions`` per chip — the
+    scheduling pipeline a corpus sweep runs for every generated SOC."""
+    from repro.sched import schedule_sessions, tasks_from_soc
+
+    results = []
+    t0 = time.perf_counter()
+    for soc in socs:
+        tasks = tasks_from_soc(soc)
+        results.append((soc, tasks, schedule_sessions(soc, tasks)))
+    return time.perf_counter() - t0, results
+
+
+def measure_corpus_rates(mode: str) -> list[dict]:
+    from repro.sched import scan_time_cache_stats, session_schedule_floor
+    from repro.sched.timecalc import clear_scan_time_cache
+
+    rows = []
+    for profile, count in CORPORA[mode]:
+        # cold: no table survives from a previous profile or run
+        clear_scan_time_cache()
+        cold_seconds, _ = schedule_corpus(build_corpus(profile, count))
+        # warm: fresh Core objects, identical structures — digest hits
+        warm_seconds, results = schedule_corpus(build_corpus(profile, count))
+        stats = scan_time_cache_stats()
+        gaps = [
+            result.total_time / floor
+            for soc, tasks, result in results
+            if (floor := session_schedule_floor(soc, tasks)) > 0
+        ]
+        rows.append({
+            "profile": profile,
+            "chips": count,
+            "cold_seconds": round(cold_seconds, 4),
+            "cold_chips_per_sec": round(count / cold_seconds, 2),
+            "warm_seconds": round(warm_seconds, 4),
+            "warm_chips_per_sec": round(count / warm_seconds, 2),
+            "cache_warm_speedup": round(cold_seconds / warm_seconds, 2),
+            "cache": {k: stats[k] for k in ("hits", "misses", "entries")},
+            "floor_gap": {
+                "mean": round(statistics.mean(gaps), 4),
+                "max": round(max(gaps), 4),
+            },
+        })
+    return rows
+
+
+def measure_reference_race(mode: str) -> dict:
+    """Both engines over the same prebuilt task lists, outputs compared
+    bit for bit.  Task building is excluded: this isolates the search."""
+    from repro.sched import (
+        schedule_sessions,
+        schedule_sessions_reference,
+        tasks_from_soc,
+    )
+
+    count = RACE_CHIPS[mode]
+    socs = build_corpus(RACE_PROFILE, count)
+    prebuilt = [(soc, tasks_from_soc(soc)) for soc in socs]
+
+    t0 = time.perf_counter()
+    fast = [schedule_sessions(soc, tasks) for soc, tasks in prebuilt]
+    fast_seconds = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    slow = [schedule_sessions_reference(soc, tasks) for soc, tasks in prebuilt]
+    slow_seconds = time.perf_counter() - t0
+
+    bit_identical = all(
+        json.dumps(a.to_dict(), sort_keys=True) == json.dumps(b.to_dict(), sort_keys=True)
+        for a, b in zip(fast, slow)
+    )
+    return {
+        "profile": RACE_PROFILE,
+        "chips": count,
+        "incremental_seconds": round(fast_seconds, 4),
+        "incremental_chips_per_sec": round(count / fast_seconds, 2),
+        "reference_seconds": round(slow_seconds, 4),
+        "reference_chips_per_sec": round(count / slow_seconds, 2),
+        "speedup": round(slow_seconds / fast_seconds, 2),
+        "bit_identical": bit_identical,
+    }
+
+
+def measure_backends(mode: str) -> dict:
+    """Full-flow chips/sec, serial vs process backend, over a spec-based
+    d695-like corpus — the sweep shape the corpus-wide table cache (and
+    its residency in warm batch workers) is built for."""
+    from repro.core import SteacConfig, integrate_many
+    from repro.gen import scenario_specs
+
+    count = BACKEND_CHIPS[mode]
+    workers = min(count, os.cpu_count() or 1)
+    specs = scenario_specs(count, profiles=(RACE_PROFILE,), base_seed=0)
+    config = SteacConfig(compare_strategies=False)
+
+    t0 = time.perf_counter()
+    serial = integrate_many(specs, config=config, backend="serial")
+    serial_seconds = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    processed = integrate_many(
+        specs, config=config, workers=workers, backend="process"
+    )
+    process_seconds = time.perf_counter() - t0
+    assert serial.ok and processed.ok
+    assert [item.result.total_test_time for item in processed] == \
+        [item.result.total_test_time for item in serial]
+    return {
+        "profile": RACE_PROFILE,
+        "chips": count,
+        "workers": workers,
+        "serial_seconds": round(serial_seconds, 4),
+        "serial_chips_per_sec": round(count / serial_seconds, 2),
+        "process_seconds": round(process_seconds, 4),
+        "process_chips_per_sec": round(count / process_seconds, 2),
+        "process_vs_serial": round(serial_seconds / process_seconds, 2),
+    }
+
+
+def measure_d695() -> dict:
+    """The ITC'02 anchor workload both golden fixtures pin."""
+    from repro.sched import (
+        schedule_sessions,
+        schedule_sessions_reference,
+        session_schedule_floor,
+        tasks_from_soc,
+    )
+    from repro.soc.itc02 import d695_soc
+
+    soc = d695_soc(test_pins=48)
+    tasks = tasks_from_soc(soc)
+    t0 = time.perf_counter()
+    fast = schedule_sessions(soc, tasks)
+    fast_seconds = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    slow = schedule_sessions_reference(soc, tasks)
+    slow_seconds = time.perf_counter() - t0
+    return {
+        "soc": soc.name,
+        "total_time": fast.total_time,
+        "sessions": fast.session_count,
+        "floor": session_schedule_floor(soc, tasks),
+        "incremental_ms": round(fast_seconds * 1000, 2),
+        "reference_ms": round(slow_seconds * 1000, 2),
+        "bit_identical": json.dumps(fast.to_dict(), sort_keys=True)
+        == json.dumps(slow.to_dict(), sort_keys=True),
+    }
+
+
+def run(mode: str) -> dict:
+    corpus = measure_corpus_rates(mode)
+    race = measure_reference_race(mode)
+    backends = measure_backends(mode)
+    d695 = measure_d695()
+    bit_identical = race["bit_identical"] and d695["bit_identical"]
+    return {
+        "schema": "repro/bench-sched/v1",
+        "mode": mode,
+        "generated": time.strftime("%Y-%m-%d %H:%M:%S", time.gmtime()) + "Z",
+        "environment": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpus": os.cpu_count(),
+        },
+        "corpus_rates": corpus,
+        "reference_race": race,
+        "backend_race": backends,
+        "d695": d695,
+        "acceptance": {
+            "speedup_target": SPEEDUP_TARGET,
+            "speedup_measured": race["speedup"],
+            "bit_identical": bit_identical,
+            "ok": race["speedup"] >= SPEEDUP_TARGET and bit_identical,
+        },
+    }
+
+
+def check_regression(doc: dict, baseline_path: str) -> tuple[bool, str]:
+    """Measured warm chips/sec on the check profile must stay within
+    ``REGRESSION_FACTOR`` of the committed baseline."""
+    with open(baseline_path) as handle:
+        baseline = json.load(handle)
+
+    def warm_rate(d):
+        for row in d["corpus_rates"]:
+            if row["profile"] == CHECK_PROFILE:
+                return row["warm_chips_per_sec"]
+        raise KeyError(f"no {CHECK_PROFILE!r} row in corpus_rates")
+
+    committed, measured = warm_rate(baseline), warm_rate(doc)
+    floor = committed / REGRESSION_FACTOR
+    ok = measured >= floor
+    verdict = "ok" if ok else "REGRESSION"
+    return ok, (
+        f"warm {CHECK_PROFILE}: measured {measured:.2f} chips/sec vs "
+        f"committed {committed:.2f} (floor {floor:.2f}): {verdict}"
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("-o", "--out", default="BENCH_sched.json",
+                        help="output path (default: ./BENCH_sched.json)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="small corpora for CI (seconds, not minutes)")
+    parser.add_argument("--check", metavar="BASELINE",
+                        help="compare against a committed BENCH_sched.json; "
+                             "exit 1 on a >2x warm-rate regression")
+    args = parser.parse_args(argv)
+
+    mode = "smoke" if args.smoke else "full"
+    doc = run(mode)
+    with open(args.out, "w") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    for row in doc["corpus_rates"]:
+        print(f"{row['profile']:>10}: cold {row['cold_chips_per_sec']:8.2f}"
+              f"  warm {row['warm_chips_per_sec']:8.2f} chips/sec"
+              f"  (cache x{row['cache_warm_speedup']:.2f},"
+              f" floor gap {row['floor_gap']['mean']:.3f})")
+    race = doc["reference_race"]
+    print(f"reference race ({race['profile']}, {race['chips']} chips): "
+          f"x{race['speedup']:.1f} vs reference"
+          f" (target >= {SPEEDUP_TARGET:.0f}x,"
+          f" bit-identical: {race['bit_identical']})")
+    backends = doc["backend_race"]
+    print(f"full flow ({backends['profile']}, {backends['chips']} chips): "
+          f"serial {backends['serial_chips_per_sec']:.2f} vs process "
+          f"{backends['process_chips_per_sec']:.2f} chips/sec "
+          f"(x{backends['process_vs_serial']:.2f}, "
+          f"{backends['workers']} workers)")
+    d695 = doc["d695"]
+    print(f"d695: {d695['total_time']} cycles in {d695['sessions']} sessions, "
+          f"{d695['incremental_ms']:.1f} ms vs {d695['reference_ms']:.1f} ms reference")
+    print(f"wrote {args.out}")
+
+    ok = doc["acceptance"]["ok"]
+    if args.check:
+        check_ok, message = check_regression(doc, args.check)
+        print(message)
+        ok = ok and check_ok
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

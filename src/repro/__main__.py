@@ -382,7 +382,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     queue over integrate/batch/fuzz/repair with a content-addressed
     result cache.  Serves until Ctrl-C or ``POST /shutdown``, draining
     in-flight jobs on the way out."""
-    from repro.serve import create_server
+    from repro.serve import DEFAULT_MAX_JOBS, create_server
+
+    if args.max_jobs is None:
+        max_jobs = DEFAULT_MAX_JOBS
+    else:
+        max_jobs = args.max_jobs if args.max_jobs > 0 else None
 
     server = create_server(
         host=args.host,
@@ -392,6 +397,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_dir=args.cache_dir,
         cache_capacity=args.cache_size,
         verbose=args.verbose,
+        max_jobs=max_jobs,
     )
     cache = f", cache dir {args.cache_dir}" if args.cache_dir else ""
     # flush so a parent process reading our pipe learns the bound port
@@ -551,6 +557,10 @@ def main(argv: list[str] | None = None) -> int:
                          help="persist cached results to this directory")
     p_serve.add_argument("--cache-size", type=int, default=256,
                          help="in-memory result-cache entries")
+    p_serve.add_argument("--max-jobs", type=int, default=None,
+                         help="retained job records; terminal jobs past the "
+                              "cap are evicted LRU-first (default 4096, "
+                              "0 = unbounded)")
     p_serve.add_argument("--verbose", action="store_true",
                          help="log every HTTP request to stderr")
     p_serve.set_defaults(func=_cmd_serve)

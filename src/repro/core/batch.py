@@ -44,6 +44,15 @@ cheap *specs* exposing ``build() -> Soc`` (e.g.
 coordinates of a generated chip).  Specs are materialized inside the
 worker, so a generated corpus ships a few integers per chip to each
 process instead of a pickled SOC model.
+
+Workers are *warm* across chips: a pool process lives for the whole
+batch (``_init_process_worker`` builds its ``Steac`` once), so the
+process-level scan-time-table cache
+(:mod:`repro.sched.timecalc`, keyed by core structural digest) fills as
+the worker's first chips integrate and serves every later chip whose
+core structures recur — in corpus sweeps over one profile, nearly all
+of them.  The cache needs no cross-process coordination: each worker
+warms its own copy from the chips it happens to draw.
 """
 
 from __future__ import annotations
@@ -244,7 +253,13 @@ _PROCESS_STEAC: Optional["Steac"] = None
 
 
 def _init_process_worker(config: "SteacConfig | None") -> None:
-    """Process-pool initializer: one ``Steac`` per worker process."""
+    """Process-pool initializer: one ``Steac`` per worker process.
+
+    The worker also accumulates the process-level
+    :mod:`repro.sched.timecalc` scan-time-table cache across every chip
+    it integrates — deliberately never cleared between items, so
+    recurring core structures in a corpus pay for their wrapper sweep
+    once per worker lifetime, not once per chip."""
     global _PROCESS_STEAC
     from repro.core.steac import Steac
 

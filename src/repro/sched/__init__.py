@@ -7,7 +7,9 @@ All strategies resolve by name through :mod:`repro.sched.registry`
 :func:`register_scheduler` to plug in new ones."""
 
 from repro.sched.bounds import (
+    forced_session_floor,
     schedule_lower_bound,
+    session_schedule_floor,
     task_floor_time,
     task_width_cap,
     task_wire_cycles_floor,
@@ -36,6 +38,7 @@ from repro.sched.session import (
     schedule_serial,
     schedule_sessions,
 )
+from repro.sched.session_ref import schedule_sessions_reference
 from repro.sched.tasks import scan_max_width, tasks_from_core, tasks_from_soc
 from repro.sched.timecalc import (
     FUNCTIONAL_SETUP_CYCLES,
@@ -43,15 +46,19 @@ from repro.sched.timecalc import (
     WIR_PROGRAM_CYCLES,
     ScanTimeModel,
     best_width_time,
+    clear_scan_time_cache,
     core_scan_time,
     functional_test_time,
     make_scan_time_fn,
     scan_test_time,
+    scan_time_cache_stats,
 )
 
 __all__ = [
     "BIST_PORT_PINS",
+    "forced_session_floor",
     "schedule_lower_bound",
+    "session_schedule_floor",
     "task_floor_time",
     "task_width_cap",
     "task_wire_cycles_floor",
@@ -79,12 +86,15 @@ __all__ = [
     "build_session",
     "schedule_serial",
     "schedule_sessions",
+    "schedule_sessions_reference",
     "scan_max_width",
     "tasks_from_core",
     "tasks_from_soc",
     "ScanTimeModel",
     "best_width_time",
+    "clear_scan_time_cache",
     "core_scan_time",
+    "scan_time_cache_stats",
     "functional_test_time",
     "make_scan_time_fn",
     "scan_test_time",

@@ -27,6 +27,7 @@ non-session (rectangle-packing) schedules alike.
 from __future__ import annotations
 
 from repro.sched.result import TestTask
+from repro.sched.timecalc import SESSION_RECONFIG_CYCLES
 from repro.soc.soc import Soc
 
 
@@ -51,6 +52,53 @@ def task_wire_cycles_floor(task: TestTask, test_pins: int) -> int:
         return 0
     cap = task_width_cap(task, test_pins)
     return min(w * task.time(w) for w in range(1, cap + 1))
+
+
+def forced_session_floor(tasks: list[TestTask]) -> int:
+    """Minimum number of *non-trivial* (nonzero-length) sessions any
+    session schedule of ``tasks`` must use.
+
+    Tasks that are pairwise mutually exclusive — two tests of the same
+    core, two functional tests (one functional interface), two BIST
+    groups (one engine/port) — land in distinct sessions, and a task
+    whose duration is nonzero at every width makes its session
+    non-trivial.  Zero-pattern tasks are excluded: they can ride in any
+    session (or the merged trailing no-op session) without adding one.
+    """
+    if not tasks:
+        return 0
+    per_core: dict[str, int] = {}
+    functional = bist = 0
+    for task in tasks:
+        if task.min_time <= 0:
+            continue
+        per_core[task.core_name] = per_core.get(task.core_name, 0) + 1
+        if task.uses_functional_pins:
+            functional += 1
+        if task.uses_bist_port:
+            bist += 1
+    return max(1, functional, bist, max(per_core.values(), default=1))
+
+
+def session_schedule_floor(
+    soc: Soc, tasks: list[TestTask], reconfig: int = SESSION_RECONFIG_CYCLES
+) -> int:
+    """A lower bound on the total time of any *session* schedule,
+    including inter-session reconfiguration.
+
+    A session schedule runs its sessions back to back, so its makespan
+    is the sum of session lengths — itself bounded below by
+    :func:`schedule_lower_bound` — plus ``reconfig`` cycles between
+    consecutive non-trivial sessions, of which there are at least
+    :func:`forced_session_floor`.  The incremental session search uses
+    this floor to prune: once the incumbent reaches it, no candidate
+    session count (and no further local-search round) can strictly
+    improve, so the search can stop without changing its answer.
+    """
+    if not tasks:
+        return 0
+    forced = forced_session_floor(tasks)
+    return schedule_lower_bound(soc, tasks) + reconfig * max(0, forced - 1)
 
 
 def schedule_lower_bound(soc: Soc, tasks: list[TestTask]) -> int:

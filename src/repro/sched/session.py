@@ -13,6 +13,19 @@ longest-first greedy placement, then improve with first-improvement
 local search (single-task moves and pairwise swaps).  Width assignment
 inside a session is exact given the membership: wires go to the critical
 (longest) scan task until it stops improving.
+
+The search is **incremental**: a candidate move touches exactly two
+sessions, so only those two memberships are re-evaluated (through a
+memo keyed by ordered membership — the greedy seed's k-way trial
+placement and the O(n²) swap neighborhood revisit identical memberships
+constantly) and the running makespan is updated by delta instead of
+re-summed.  The candidate-``k`` loop and the local-search rounds are
+additionally pruned against the five-floor session lower bound
+(:func:`repro.sched.bounds.session_schedule_floor`): once the incumbent
+reaches the floor, nothing can *strictly* improve, so stopping early
+cannot change the answer.  The pre-incremental search is retained in
+:mod:`repro.sched.session_ref` as the differential-test oracle — the
+two engines are bit-identical by construction and by test.
 """
 
 from __future__ import annotations
@@ -20,6 +33,7 @@ from __future__ import annotations
 import itertools
 from typing import Optional
 
+from repro.sched.bounds import session_schedule_floor
 from repro.sched.ioalloc import SharingPolicy, control_pins
 from repro.sched.power import fits_power_budget
 from repro.sched.result import ScheduledTest, ScheduleResult, Session, TestTask
@@ -149,83 +163,205 @@ def _finalize_sessions(
     return finalized, offset
 
 
-def _materialize(
-    memberships: list[list[TestTask]], soc: Soc, policy: SharingPolicy
-) -> Optional[list[Session]]:
-    sessions = []
-    for i, members in enumerate(memberships):
-        session = build_session(i, members, soc, policy)
-        if session is None:
+class _SessionEvaluator:
+    """Memoized membership → session length, the search's inner oracle.
+
+    ``length(members)`` answers the only two questions the search asks
+    of a membership — is it feasible, and how long is the session — by
+    running the same checks as :func:`build_session` (same call order,
+    same width assignment) without allocating ``Session`` /
+    ``ScheduledTest`` objects.  Results are memoized keyed by the
+    *ordered* identity tuple of the members: order is semantic (width
+    assignment breaks ties by membership order, and the final test list
+    preserves it), and the greedy seed's k-way trials, the O(n²) swap
+    neighborhood, and every post-improvement re-scan revisit identical
+    memberships, so the memo absorbs most of the search.  Task objects
+    are fixed for the lifetime of one scheduling run, so ``id()`` is a
+    stable, collision-free key component.
+    """
+
+    __slots__ = ("soc", "policy", "_memo", "hits", "misses")
+
+    def __init__(self, soc: Soc, policy: SharingPolicy):
+        self.soc = soc
+        self.policy = policy
+        self._memo: dict[tuple[int, ...], Optional[int]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def length(self, members: list[TestTask]) -> Optional[int]:
+        """Session length of ``members``, or ``None`` if infeasible."""
+        if not members:
+            return 0
+        key = tuple(map(id, members))
+        try:
+            cached = self._memo[key]
+            self.hits += 1
+            return cached
+        except KeyError:
+            self.misses += 1
+        result = self._evaluate(members)
+        self._memo[key] = result
+        return result
+
+    def _evaluate(self, members: list[TestTask]) -> Optional[int]:
+        # mirrors build_session's feasibility checks exactly
+        cores = [t.core_name for t in members]
+        if len(cores) != len(set(cores)):
             return None
-        sessions.append(session)
-    return sessions
+        if sum(1 for t in members if t.uses_functional_pins) > 1:
+            return None
+        if not fits_power_budget(members, self.soc.power_budget):
+            return None
+        ctrl = control_pins(members, self.policy)
+        if ctrl > self.soc.test_pins:
+            return None
+        widths = assign_widths(members, self.soc.test_pins - ctrl)
+        if widths is None:
+            return None
+        return max(t.time(widths.get(t.name, 1)) for t in members)
+
+
+def _makespan(sum_len: int, active: int, reconfig: int) -> int:
+    """Makespan from the two running aggregates: total length of the
+    non-trivial sessions and their count (reconfig between each pair)."""
+    return sum_len + reconfig * (active - 1) if active else 0
 
 
 def _greedy_seed(
-    tasks: list[TestTask], k: int, soc: Soc, policy: SharingPolicy, reconfig: int
-) -> Optional[list[list[TestTask]]]:
-    memberships: list[list[TestTask]] = [[] for _ in range(k)]
+    tasks: list[TestTask],
+    k: int,
+    evaluator: _SessionEvaluator,
+    reconfig: int,
+) -> Optional[tuple[list[list[TestTask]], list[int]]]:
+    """Longest-first greedy placement over ``k`` sessions.
+
+    Each trial placement touches exactly one session, so only that
+    session is re-evaluated (the other ``k-1`` are unchanged and known
+    feasible) and the trial makespan is the incumbent adjusted by the
+    one session's length delta — O(1) bookkeeping per trial where the
+    reference rebuilds all ``k`` sessions.
+    """
+    members: list[list[TestTask]] = [[] for _ in range(k)]
+    lengths = [0] * k
+    sum_len = 0
+    active = 0
     for task in sorted(tasks, key=lambda t: -t.min_time):
-        best_idx, best_total = None, None
+        best_idx: Optional[int] = None
+        best_total: Optional[int] = None
+        best_len = 0
         for i in range(k):
-            trial = [list(m) for m in memberships]
-            trial[i].append(task)
-            sessions = _materialize(trial, soc, policy)
-            if sessions is None:
+            new_len = evaluator.length(members[i] + [task])
+            if new_len is None:
                 continue
-            total = _total_time(sessions, reconfig)
+            s, a = sum_len, active
+            if lengths[i]:
+                s -= lengths[i]
+                a -= 1
+            if new_len:
+                s += new_len
+                a += 1
+            total = _makespan(s, a, reconfig)
             if best_total is None or total < best_total:
-                best_idx, best_total = i, total
+                best_idx, best_total, best_len = i, total, new_len
         if best_idx is None:
             return None
-        memberships[best_idx].append(task)
-    return memberships
+        if lengths[best_idx]:
+            sum_len -= lengths[best_idx]
+            active -= 1
+        if best_len:
+            sum_len += best_len
+            active += 1
+        lengths[best_idx] = best_len
+        members[best_idx].append(task)
+    return members, lengths
 
 
 def _local_search(
-    memberships: list[list[TestTask]],
-    soc: Soc,
-    policy: SharingPolicy,
+    members: list[list[TestTask]],
+    lengths: list[int],
+    evaluator: _SessionEvaluator,
     reconfig: int,
+    floor: int,
     max_rounds: int = 60,
-) -> list[list[TestTask]]:
-    best = [list(m) for m in memberships]
-    sessions = _materialize(best, soc, policy)
-    best_total = _total_time(sessions, reconfig)
+) -> tuple[list[list[TestTask]], int]:
+    """First-improvement local search (moves, then swaps), incremental.
+
+    A move or swap touches two sessions: only those two memberships are
+    evaluated (memoized) and the makespan is updated by delta.  Rounds
+    stop early once the incumbent reaches ``floor`` — every feasible
+    makespan is ≥ the floor, so no *strict* improvement exists and the
+    reference search's remaining rounds would scan and accept nothing.
+    Returns the improved memberships and their makespan.
+    """
+    k = len(members)
+    sum_len = sum(ln for ln in lengths if ln)
+    active = sum(1 for ln in lengths if ln)
+    best_total = _makespan(sum_len, active, reconfig)
     for _ in range(max_rounds):
+        if best_total <= floor:
+            break
         improved = False
         # single-task moves
-        for src, dst in itertools.permutations(range(len(best)), 2):
-            for task in list(best[src]):
-                trial = [list(m) for m in best]
-                trial[src].remove(task)
-                trial[dst].append(task)
-                sessions = _materialize(trial, soc, policy)
-                if sessions is None:
+        for src, dst in itertools.permutations(range(k), 2):
+            for ti in range(len(members[src])):
+                task = members[src][ti]
+                new_src = members[src][:ti] + members[src][ti + 1:]
+                len_src = evaluator.length(new_src)
+                if len_src is None:
                     continue
-                total = _total_time(sessions, reconfig)
+                new_dst = members[dst] + [task]
+                len_dst = evaluator.length(new_dst)
+                if len_dst is None:
+                    continue
+                s, a = sum_len, active
+                for i, new_len in ((src, len_src), (dst, len_dst)):
+                    if lengths[i]:
+                        s -= lengths[i]
+                        a -= 1
+                    if new_len:
+                        s += new_len
+                        a += 1
+                total = _makespan(s, a, reconfig)
                 if total < best_total:
-                    best, best_total, improved = trial, total, True
+                    members[src], members[dst] = new_src, new_dst
+                    lengths[src], lengths[dst] = len_src, len_dst
+                    sum_len, active, best_total = s, a, total
+                    improved = True
                     break
             if improved:
                 break
         if improved:
             continue
         # pairwise swaps
-        for a, b in itertools.combinations(range(len(best)), 2):
-            for ta in list(best[a]):
-                for tb in list(best[b]):
-                    trial = [list(m) for m in best]
-                    trial[a].remove(ta)
-                    trial[b].remove(tb)
-                    trial[a].append(tb)
-                    trial[b].append(ta)
-                    sessions = _materialize(trial, soc, policy)
-                    if sessions is None:
+        for sa, sb in itertools.combinations(range(k), 2):
+            for ti in range(len(members[sa])):
+                ta = members[sa][ti]
+                base_a = members[sa][:ti] + members[sa][ti + 1:]
+                for tj in range(len(members[sb])):
+                    tb = members[sb][tj]
+                    new_a = base_a + [tb]
+                    len_a = evaluator.length(new_a)
+                    if len_a is None:
                         continue
-                    total = _total_time(sessions, reconfig)
+                    new_b = members[sb][:tj] + members[sb][tj + 1:] + [ta]
+                    len_b = evaluator.length(new_b)
+                    if len_b is None:
+                        continue
+                    s, a = sum_len, active
+                    for i, new_len in ((sa, len_a), (sb, len_b)):
+                        if lengths[i]:
+                            s -= lengths[i]
+                            a -= 1
+                        if new_len:
+                            s += new_len
+                            a += 1
+                    total = _makespan(s, a, reconfig)
                     if total < best_total:
-                        best, best_total, improved = trial, total, True
+                        members[sa], members[sb] = new_a, new_b
+                        lengths[sa], lengths[sb] = len_a, len_b
+                        sum_len, active, best_total = s, a, total
+                        improved = True
                         break
                 if improved:
                     break
@@ -233,7 +369,7 @@ def _local_search(
                 break
         if not improved:
             break
-    return best
+    return members, best_total
 
 
 def schedule_sessions(
@@ -256,6 +392,14 @@ def schedule_sessions(
     stay schedulable.  ``max_sessions`` sizes the search window — it is
     not a hard cap on the returned session count; pass ``n_sessions``
     to pin the count exactly.  The best feasible result is returned.
+
+    Candidate counts are pruned against the session lower bound: once
+    the incumbent makespan reaches
+    :func:`~repro.sched.bounds.session_schedule_floor`, no remaining
+    candidate can strictly improve it (ties keep the earlier candidate,
+    exactly as the unpruned loop would), so the loop stops.  The result
+    is bit-identical to :func:`~repro.sched.session_ref.
+    schedule_sessions_reference`.
     """
     if not tasks:
         return ScheduleResult(soc_name=soc.name, strategy="session-based",
@@ -275,22 +419,33 @@ def schedule_sessions(
         # a window of max_sessions candidate counts starting at the floor
         # (degenerates to the classic 1..max_sessions for small chips)
         candidates = list(range(forced, min(len(tasks), forced + max_sessions - 1) + 1))
-    best_sessions: Optional[list[Session]] = None
+    evaluator = _SessionEvaluator(soc, policy)
+    floor = session_schedule_floor(soc, tasks, reconfig)
+    best_members: Optional[list[list[TestTask]]] = None
     best_total: Optional[int] = None
     for k in candidates:
-        seed = _greedy_seed(tasks, k, soc, policy, reconfig)
-        if seed is None:
+        if best_total is not None and best_total <= floor:
+            break  # bound pruning: every remaining k yields >= floor >= incumbent
+        seeded = _greedy_seed(tasks, k, evaluator, reconfig)
+        if seeded is None:
             continue
-        improved = _local_search(seed, soc, policy, reconfig)
-        sessions = _materialize(improved, soc, policy)
-        total = _total_time(sessions, reconfig)
+        members, lengths = seeded
+        members, total = _local_search(members, lengths, evaluator, reconfig, floor)
         if best_total is None or total < best_total:
-            best_sessions, best_total = sessions, total
-    if best_sessions is None:
+            best_members, best_total = members, total
+    if best_members is None:
         raise InfeasibleScheduleError(
             f"no feasible session schedule for {soc.name!r} with "
             f"{soc.test_pins} pins (tried {candidates} sessions)"
         )
+    best_sessions = []
+    for i, membership in enumerate(best_members):
+        session = build_session(i, membership, soc, policy)
+        if session is None:  # pragma: no cover — search only keeps feasible sets
+            raise InfeasibleScheduleError(
+                f"internal error: winning membership infeasible for {soc.name!r}"
+            )
+        best_sessions.append(session)
     used, total = _finalize_sessions(best_sessions, reconfig)
     return ScheduleResult(
         soc_name=soc.name,
@@ -310,12 +465,15 @@ def schedule_serial(
 ) -> ScheduleResult:
     """Fully serial baseline: one task per session, each at max width."""
     memberships = [[t] for t in sorted(tasks, key=lambda t: -t.min_time)]
-    sessions = _materialize(memberships, soc, policy)
-    if sessions is None:
-        raise InfeasibleScheduleError(
-            f"serial schedule infeasible for {soc.name!r}: some single test "
-            f"does not fit in {soc.test_pins} pins"
-        )
+    sessions = []
+    for i, membership in enumerate(memberships):
+        session = build_session(i, membership, soc, policy)
+        if session is None:
+            raise InfeasibleScheduleError(
+                f"serial schedule infeasible for {soc.name!r}: some single test "
+                f"does not fit in {soc.test_pins} pins"
+            )
+        sessions.append(session)
     used, total = _finalize_sessions(sessions, reconfig)
     return ScheduleResult(
         soc_name=soc.name,

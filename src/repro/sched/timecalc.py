@@ -18,6 +18,8 @@ wrapper-programming preamble.
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.soc.core import Core
@@ -47,6 +49,58 @@ def functional_test_time(patterns: int, setup: int = FUNCTIONAL_SETUP_CYCLES) ->
     if patterns <= 0:
         return 0
     return patterns + setup
+
+
+#: Cap on the process-level scan-time-table cache (distinct core
+#: structures, not chips — identical cores across a corpus share one
+#: entry, so even a 10^5-chip sweep stays far below this unless every
+#: chip's every core is structurally unique).
+SCAN_TIME_CACHE_CAP = 4096
+
+#: Process-level ``(core digest, patterns, max_width) -> ScanTimeModel``
+#: LRU.  The per-``Core``-object memo dies with the object; a generated
+#: corpus builds fresh ``Core`` instances for every chip even when the
+#: structures repeat, and a ``repro.core.batch`` worker process outlives
+#: thousands of chips — this cache makes each distinct core structure
+#: pay for its ``design_wrapper`` sweep once per process, not once per
+#: chip.
+_SCAN_TIME_CACHE: OrderedDict[tuple[str, int, int], "ScanTimeModel"] = OrderedDict()
+_SCAN_TIME_LOCK = threading.Lock()
+_SCAN_TIME_STATS = {"hits": 0, "misses": 0, "evictions": 0}
+
+
+def _core_structural_digest(core: Core) -> str:
+    """The core's content digest (cached on the object): identical
+    structures — however many times the generator rebuilds them —
+    share one key.  The canonical form includes the core name, so two
+    look-alike cores with different names never alias (a
+    :class:`ScanTimeModel` records ``core_name`` and task/result
+    equality depends on it)."""
+    digest = core.__dict__.get("_canonical_digest")
+    if digest is None:
+        from repro.soc.digest import canonical_core, digest_document
+
+        digest = core.__dict__["_canonical_digest"] = digest_document(
+            canonical_core(core)
+        )
+    return digest
+
+
+def scan_time_cache_stats() -> dict:
+    """Counters for the process-level table cache (benchmark/test aid)."""
+    with _SCAN_TIME_LOCK:
+        return {
+            **_SCAN_TIME_STATS,
+            "entries": len(_SCAN_TIME_CACHE),
+            "capacity": SCAN_TIME_CACHE_CAP,
+        }
+
+
+def clear_scan_time_cache() -> None:
+    """Drop every process-level table and reset the counters (tests)."""
+    with _SCAN_TIME_LOCK:
+        _SCAN_TIME_CACHE.clear()
+        _SCAN_TIME_STATS.update(hits=0, misses=0, evictions=0)
 
 
 def core_scan_time(core: Core, width: int, patterns: int | None = None) -> int:
@@ -98,11 +152,17 @@ class ScanTimeModel:
         """Precompute the table for ``core`` over widths ``1..max_width``
         (default: the core's largest useful scan width).
 
-        Tables are memoized **on the core object** keyed by
-        ``(patterns, max_width)`` — once per (core, patterns), however
-        many times tasks are rebuilt — so the cache's lifetime is the
-        core's.  The memo assumes the core's wrapper-relevant structure
-        (ports, chains, core type) is not mutated between calls.
+        Tables are memoized at two levels.  A memo **on the core
+        object** (keyed by ``(patterns, max_width)``) makes repeat
+        calls for a live core free.  Behind it, a **process-level LRU**
+        keyed by the core's structural digest shares tables across
+        *distinct but identical* core objects — the common case in
+        corpus sweeps, where the generator rebuilds the same structures
+        for every chip and a batch worker process integrates thousands
+        of them.  Both levels assume the core's wrapper-relevant
+        structure (ports, chains, core type) is not mutated between
+        calls; the model itself is frozen, so sharing one instance
+        across cores and threads is safe.
         """
         if patterns is None:
             patterns = core.scan_patterns
@@ -113,14 +173,28 @@ class ScanTimeModel:
         cache = core.__dict__.setdefault("_scan_time_models", {})
         key = (patterns, max_width)
         model = cache.get(key)
+        if model is not None:
+            return model
+        shared_key = (_core_structural_digest(core), patterns, max_width)
+        with _SCAN_TIME_LOCK:
+            model = _SCAN_TIME_CACHE.get(shared_key)
+            if model is not None:
+                _SCAN_TIME_CACHE.move_to_end(shared_key)
+                _SCAN_TIME_STATS["hits"] += 1
         if model is None:
             times = tuple(
                 core_scan_time(core, width, patterns)
                 for width in range(1, max(1, max_width) + 1)
             )
-            model = cache[key] = cls(
-                core_name=core.name, patterns=patterns, times=times
-            )
+            model = cls(core_name=core.name, patterns=patterns, times=times)
+            with _SCAN_TIME_LOCK:
+                _SCAN_TIME_STATS["misses"] += 1
+                _SCAN_TIME_CACHE[shared_key] = model
+                _SCAN_TIME_CACHE.move_to_end(shared_key)
+                while len(_SCAN_TIME_CACHE) > SCAN_TIME_CACHE_CAP:
+                    _SCAN_TIME_CACHE.popitem(last=False)
+                    _SCAN_TIME_STATS["evictions"] += 1
+        cache[key] = model
         return model
 
     @property
@@ -150,9 +224,16 @@ def best_width_time(core: Core, max_width: int, patterns: int | None = None) -> 
     Scan time is non-increasing in width, so this is simply the time at
     ``max_width`` — but the function also returns the *smallest* width
     achieving that time (extra wires that buy nothing are wasted pins).
+
+    Reads the precomputed (and corpus-wide memoized)
+    :class:`ScanTimeModel` table instead of re-running
+    ``design_wrapper`` per width: the first call per core structure
+    pays for the sweep once; every later call — any ``max_width`` ≤ the
+    table, any caller — is tuple indexing.
     """
-    best_time = core_scan_time(core, max_width, patterns)
+    model = ScanTimeModel.for_core(core, patterns, max_width=max_width)
+    best_time = model(max_width)
     width = max_width
-    while width > 1 and core_scan_time(core, width - 1, patterns) == best_time:
+    while width > 1 and model(width - 1) == best_time:
         width -= 1
     return width, best_time

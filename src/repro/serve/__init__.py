@@ -28,9 +28,10 @@ from repro.serve.keys import (
     normalize_payload,
 )
 from repro.serve.runners import content_address, execute
-from repro.serve.server import ServeServer, create_server
+from repro.serve.server import DEFAULT_MAX_JOBS, ServeServer, create_server
 
 __all__ = [
+    "DEFAULT_MAX_JOBS",
     "JOB_KINDS",
     "JOB_SCHEMA",
     "Job",

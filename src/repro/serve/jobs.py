@@ -15,6 +15,12 @@ The worker pool is a handful of daemon threads feeding off one queue;
 each job's *internal* parallelism (batch fan-out, fuzz sweeps,
 Monte-Carlo trials) goes through :mod:`repro.core.batch` backends, so
 the thread count here bounds concurrent jobs, not concurrent chips.
+
+The job table is bounded: past ``max_jobs`` retained records, terminal
+(done/failed) jobs are evicted least-recently-used first — the job
+document disappears (404), but the *result* lives on in the
+content-addressed cache, so resubmitting the work is a hit.  Live jobs
+are never evicted.
 """
 
 from __future__ import annotations
@@ -23,6 +29,7 @@ import json
 import queue
 import threading
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -105,6 +112,15 @@ class JobManager:
             if omitted).
         default_backend: ``repro.core.batch`` backend for jobs that do
             not pin one ("auto" if omitted).
+        max_jobs: cap on the job table.  When set, *terminal* jobs
+            (``done`` / ``failed``) past the cap are evicted least-
+            recently-used first (a ``GET`` of a job refreshes it);
+            ``queued`` / ``running`` jobs are never evicted, so the
+            table may transiently exceed the cap under a burst of
+            in-flight work.  An evicted job's record 404s, but its
+            *result* stays served by the content-addressed cache — a
+            resubmit is a hit.  ``None`` (the default) keeps the
+            pre-cap unbounded behaviour.
     """
 
     def __init__(
@@ -112,12 +128,17 @@ class JobManager:
         workers: int = 2,
         cache: Optional[ResultCache] = None,
         default_backend: Optional[str] = None,
+        max_jobs: Optional[int] = None,
     ):
         if workers < 1:
             raise ValueError(f"job manager needs at least 1 worker, got {workers}")
+        if max_jobs is not None and max_jobs < 1:
+            raise ValueError(f"max_jobs must be >= 1 (or None), got {max_jobs}")
         self.cache = cache if cache is not None else ResultCache()
         self.default_backend = default_backend
-        self._jobs: dict[str, Job] = {}
+        self.max_jobs = max_jobs
+        self._jobs: OrderedDict[str, Job] = OrderedDict()
+        self._evicted = 0
         self._lock = threading.Lock()
         self._queue: queue.Queue = queue.Queue()
         self._counter = 0
@@ -129,6 +150,29 @@ class JobManager:
         ]
         for thread in self._threads:
             thread.start()
+
+    # -- eviction ----------------------------------------------------------
+
+    def _evict_locked(self) -> None:
+        """Drop least-recently-used *terminal* jobs past ``max_jobs``.
+
+        Called with the lock held, after any insertion or terminal
+        transition.  The table is LRU-ordered (``get`` refreshes);
+        scanning from the cold end skips live (queued/running) jobs, so
+        a burst of in-flight work can exceed the cap until it drains.
+        """
+        if self.max_jobs is None or len(self._jobs) <= self.max_jobs:
+            return
+        excess = len(self._jobs) - self.max_jobs
+        victims = []
+        for job_id, job in self._jobs.items():
+            if job.status in ("done", "failed"):
+                victims.append(job_id)
+                if len(victims) == excess:
+                    break
+        for job_id in victims:
+            del self._jobs[job_id]
+            self._evicted += 1
 
     # -- submission --------------------------------------------------------
 
@@ -163,6 +207,7 @@ class JobManager:
                 job.status = "failed"
                 job.error = str(exc)
                 job.started_at = job.finished_at = time.time()
+                self._evict_locked()
             return job
         cached = self.cache.get(job.cache_key)
         with self._lock:
@@ -173,6 +218,7 @@ class JobManager:
                 job.started_at = job.finished_at = time.time()
             else:
                 self._queue.put(job.id)
+            self._evict_locked()
         return job
 
     # -- execution ---------------------------------------------------------
@@ -182,9 +228,11 @@ class JobManager:
             job_id = self._queue.get()
             if job_id is _SENTINEL:
                 return
-            job = self._jobs[job_id]
             with self._lock:
-                if job.status != "queued":  # cancelled by a non-drain close
+                # queued jobs are never evicted, so the lookup only
+                # misses if a non-drain close failed the job first
+                job = self._jobs.get(job_id)
+                if job is None or job.status != "queued":
                     continue
                 job.status = "running"
                 job.started_at = time.time()
@@ -196,29 +244,37 @@ class JobManager:
                     job.status = "failed"
                     job.error = str(exc)
                     job.finished_at = time.time()
+                    self._evict_locked()
                 continue
             except Exception as exc:  # noqa: BLE001 — a worker must not die
                 with self._lock:
                     job.status = "failed"
                     job.error = f"internal error: {type(exc).__name__}: {exc}"
                     job.finished_at = time.time()
+                    self._evict_locked()
                 continue
             self.cache.put(job.cache_key, text)
             with self._lock:
                 job.result_text = text
                 job.status = "done"
                 job.finished_at = time.time()
+                self._evict_locked()
 
     # -- inspection --------------------------------------------------------
 
     def get(self, job_id: str) -> Optional[Job]:
         with self._lock:
-            return self._jobs.get(job_id)
+            job = self._jobs.get(job_id)
+            if job is not None:
+                # LRU touch: a fetched job is hot, evict colder ones first
+                self._jobs.move_to_end(job_id)
+            return job
 
     def jobs(self) -> list[Job]:
-        """Every job, in submission order."""
+        """Every retained job, in submission order (ids are sequential,
+        so sorting by id undoes the table's LRU ordering)."""
         with self._lock:
-            return list(self._jobs.values())
+            return sorted(self._jobs.values(), key=lambda job: job.id)
 
     def stats(self) -> dict:
         with self._lock:
@@ -226,12 +282,19 @@ class JobManager:
             for job in self._jobs.values():
                 by_status[job.status] += 1
             submitted = self._counter
+            evicted = self._evicted
         doc = {
             "schema": "repro/serve-stats/v1",
             "uptime_seconds": round(time.time() - self.started, 3),
             "workers": len(self._threads),
             "default_backend": self.default_backend or "auto",
-            "jobs": {"submitted": submitted, **by_status},
+            "jobs": {
+                "submitted": submitted,
+                "retained": sum(by_status.values()),
+                "evicted": evicted,
+                "max_jobs": self.max_jobs,
+                **by_status,
+            },
             "cache": self.cache.stats(),
         }
         return doc

@@ -147,10 +147,11 @@ class ServeServer(ThreadingHTTPServer):
         backend: Optional[str] = None,
         cache: Optional[ResultCache] = None,
         verbose: bool = False,
+        max_jobs: Optional[int] = None,
     ):
         super().__init__(address, ServeHandler)
         self.manager = JobManager(
-            workers=workers, cache=cache, default_backend=backend
+            workers=workers, cache=cache, default_backend=backend, max_jobs=max_jobs
         )
         self.verbose = verbose
         self._stopped = threading.Event()
@@ -182,6 +183,12 @@ class ServeServer(ThreadingHTTPServer):
             self.server_close()
 
 
+#: Default job-table cap for servers built through :func:`create_server`
+#: (the CLI's ``--max-jobs``): long-running services must not grow the
+#: table without bound.  Pass ``max_jobs=None`` for the unbounded table.
+DEFAULT_MAX_JOBS = 4096
+
+
 def create_server(
     host: str = "127.0.0.1",
     port: int = 0,
@@ -190,10 +197,12 @@ def create_server(
     cache_dir: Optional[str] = None,
     cache_capacity: int = 256,
     verbose: bool = False,
+    max_jobs: Optional[int] = DEFAULT_MAX_JOBS,
 ) -> ServeServer:
     """Build a ready-to-run server (``port=0`` picks a free port —
     read it back from ``server.port``)."""
     cache = ResultCache(capacity=cache_capacity, cache_dir=cache_dir)
     return ServeServer(
-        (host, port), workers=workers, backend=backend, cache=cache, verbose=verbose
+        (host, port), workers=workers, backend=backend, cache=cache,
+        verbose=verbose, max_jobs=max_jobs,
     )

@@ -122,8 +122,9 @@ class TestScanTimeModel:
         usb = build_usb_core()
         assert ScanTimeModel.for_core(usb, 716) is ScanTimeModel.for_core(usb, 716)
         assert ScanTimeModel.for_core(usb, 716) is not ScanTimeModel.for_core(usb, 10)
-        # a fresh core object has its own cache
-        assert ScanTimeModel.for_core(build_usb_core(), 716) is not ScanTimeModel.for_core(usb, 716)
+        # a fresh but structurally identical core object shares the table
+        # via the process-level digest-keyed cache (corpus memoization)
+        assert ScanTimeModel.for_core(build_usb_core(), 716) is ScanTimeModel.for_core(usb, 716)
 
     def test_accounting_only_tasks_skip_time_models(self):
         """tasks_from_soc(time_models=False) keeps the control-IO fields

@@ -257,3 +257,112 @@ class TestServeCli:
             if proc.poll() is None:
                 proc.kill()
                 proc.wait()
+
+
+BAD_SOC = {"kind": "integrate", "soc": {"soc_text": "garbage"}}
+
+
+def _tiny(seed: int) -> dict:
+    return {"kind": "integrate", "soc": {"spec": {"profile": "tiny", "seed": seed}}}
+
+
+class TestJobEviction:
+    """Bounded job table: terminal jobs past ``max_jobs`` go LRU-first.
+
+    Born-failed submissions (unparsable ``soc_text``) reach a terminal
+    state synchronously, which keeps these tests deterministic — no
+    waiting on worker threads to decide what is evictable.
+    """
+
+    def test_max_jobs_validated(self):
+        with pytest.raises(ValueError):
+            JobManager(workers=1, max_jobs=0)
+
+    def test_terminal_jobs_evicted_oldest_first(self):
+        manager = JobManager(workers=1, max_jobs=2)
+        try:
+            ids = [manager.submit(BAD_SOC).id for _ in range(5)]
+            stats = manager.stats()["jobs"]
+            assert stats["submitted"] == 5
+            assert stats["retained"] == 2
+            assert stats["evicted"] == 3
+            assert stats["max_jobs"] == 2
+            assert [job.id for job in manager.jobs()] == ids[3:]
+            assert manager.get(ids[0]) is None
+            assert manager.get(ids[4]) is not None
+        finally:
+            manager.close()
+
+    def test_get_refreshes_lru_order(self):
+        manager = JobManager(workers=1, max_jobs=2)
+        try:
+            first = manager.submit(BAD_SOC)
+            second = manager.submit(BAD_SOC)
+            manager.get(first.id)  # touch: second is now the cold end
+            third = manager.submit(BAD_SOC)
+            retained = {job.id for job in manager.jobs()}
+            assert retained == {first.id, third.id}
+            assert manager.get(second.id) is None
+        finally:
+            manager.close()
+
+    def test_live_jobs_are_never_evicted(self, monkeypatch):
+        started = threading.Event()
+        release = threading.Event()
+
+        def blocked(normalized, work, execution):
+            started.set()
+            assert release.wait(timeout=30)
+            return {"schema": "test/blocked", "ok": True}
+
+        monkeypatch.setattr("repro.serve.jobs.execute", blocked)
+        manager = JobManager(workers=1, max_jobs=1)
+        try:
+            live = manager.submit(_tiny(0))
+            assert started.wait(timeout=10)
+            for _ in range(3):
+                manager.submit(BAD_SOC)
+            # the running job is the coldest entry, yet survives; each
+            # born-failed job is the only terminal one and goes instead
+            assert manager.get(live.id) is not None
+            stats = manager.stats()["jobs"]
+            assert stats["evicted"] == 3
+            assert stats["running"] == 1
+        finally:
+            release.set()
+            manager.close(drain=True)
+
+    def test_unbounded_without_cap(self):
+        manager = JobManager(workers=1, max_jobs=None)
+        try:
+            for _ in range(5):
+                manager.submit(BAD_SOC)
+            stats = manager.stats()["jobs"]
+            assert stats["retained"] == 5
+            assert stats["evicted"] == 0
+            assert stats["max_jobs"] is None
+        finally:
+            manager.close()
+
+    def test_eviction_observable_over_http(self):
+        server = create_server(workers=1, max_jobs=1)
+        thread = threading.Thread(target=server.run, daemon=True)
+        thread.start()
+        client = ServeClient(server.url, timeout=30.0)
+        try:
+            client.wait_healthy()
+            first = client.wait(client.submit(_tiny(1))["id"])
+            client.wait(client.submit(_tiny(2))["id"])
+            stats = client.stats()
+            assert stats["jobs"]["evicted"] >= 1
+            assert stats["jobs"]["max_jobs"] == 1
+            with pytest.raises(ServeError) as err:
+                client.job(first["id"])
+            assert err.value.status == 404
+            # the record is gone but the *result* survives in the
+            # content-addressed cache: a resubmit is an instant hit
+            hit = client.submit(_tiny(1))
+            assert hit["status"] == "done" and hit["cached"] is True
+        finally:
+            server.stop()
+            thread.join(timeout=10)
