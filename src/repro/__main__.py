@@ -17,6 +17,12 @@ this is the command shell for the whole reproduction:
 * ``python -m repro generate``       — emit a synthetic SOC (``.soc`` or JSON)
 * ``python -m repro fuzz``           — differentially test every scheduler
   over a generated corpus, checking the :mod:`repro.verify` invariants
+* ``python -m repro serve``          — HTTP job queue with a result cache
+* ``python -m repro metrics``        — scrape a running server's /metrics
+
+``dsc``, ``d695``, ``batch``, and ``fuzz`` accept ``--trace-out FILE``
+to record :mod:`repro.obs` spans for the run and dump them as JSONL
+(replay with :func:`repro.obs.load_jsonl` / :func:`repro.obs.span_tree`).
 
 Scheduling strategies everywhere resolve by name through
 :mod:`repro.sched.registry` — ``--strategy ilp`` runs the exact MILP —
@@ -31,8 +37,31 @@ Batch specs also accept generated chips: ``gen-<profile>-<seed>`` (e.g.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import sys
+
+
+@contextlib.contextmanager
+def _maybe_trace(args: argparse.Namespace):
+    """Honour ``--trace-out FILE``: enable :mod:`repro.obs` tracing for
+    the command's duration and export the recorded spans as JSONL on the
+    way out (stderr note, so ``--json`` stdout stays machine-readable)."""
+    path = getattr(args, "trace_out", None)
+    if not path:
+        yield
+        return
+    from repro.obs import TRACER, disable_tracing, enable_tracing
+
+    enable_tracing()
+    try:
+        yield
+    finally:
+        count = len(TRACER.records())
+        TRACER.export_jsonl(path)
+        disable_tracing()
+        TRACER.clear()
+        print(f"wrote {count} span(s) to {path}", file=sys.stderr)
 
 
 def _strategy_choices() -> list[str]:
@@ -415,6 +444,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    """Print a running server's Prometheus exposition (``GET /metrics``)
+    — the shell-side twin of pointing a scraper at the service."""
+    from repro.serve.client import ServeClient, ServeError
+
+    client = ServeClient(args.url, timeout=10.0)
+    try:
+        print(client.metrics_text(), end="")
+    except (ServeError, OSError) as exc:
+        print(f"cannot fetch {args.url}/metrics: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     strategies = _strategy_choices()
     parser = argparse.ArgumentParser(
@@ -434,6 +477,8 @@ def main(argv: list[str] | None = None) -> int:
                        help="emit the machine-readable integration result")
     p_dsc.add_argument("--verilog", metavar="FILE", nargs="?", const="-",
                        help="dump DFT-inserted Verilog (to FILE or stdout)")
+    p_dsc.add_argument("--trace-out", metavar="FILE",
+                       help="record repro.obs spans and write them as JSONL")
     p_dsc.set_defaults(func=_cmd_dsc)
 
     p_batch = sub.add_parser(
@@ -453,6 +498,8 @@ def main(argv: list[str] | None = None) -> int:
                          help="emit the machine-readable batch result")
     p_batch.add_argument("--verify", action="store_true",
                          help="invariant-check every schedule (exit 1 on violations)")
+    p_batch.add_argument("--trace-out", metavar="FILE",
+                         help="record repro.obs spans and write them as JSONL")
     p_batch.set_defaults(func=_cmd_batch)
 
     p_march = sub.add_parser("march", help="list the March algorithm library")
@@ -471,6 +518,8 @@ def main(argv: list[str] | None = None) -> int:
                         help="scheduling strategy (registry name)")
     p_d695.add_argument("--json", action="store_true",
                         help="emit the machine-readable schedule result")
+    p_d695.add_argument("--trace-out", metavar="FILE",
+                        help="record repro.obs spans and write them as JSONL")
     p_d695.set_defaults(func=_cmd_d695)
 
     p_repair = sub.add_parser(
@@ -539,6 +588,8 @@ def main(argv: list[str] | None = None) -> int:
                         help="executor backend for the corpus sweep")
     p_fuzz.add_argument("--json", action="store_true",
                         help="emit the machine-readable fuzz report")
+    p_fuzz.add_argument("--trace-out", metavar="FILE",
+                        help="record repro.obs spans and write them as JSONL")
     p_fuzz.set_defaults(func=_cmd_fuzz)
 
     p_serve = sub.add_parser(
@@ -565,8 +616,16 @@ def main(argv: list[str] | None = None) -> int:
                          help="log every HTTP request to stderr")
     p_serve.set_defaults(func=_cmd_serve)
 
+    p_metrics = sub.add_parser(
+        "metrics", help="fetch a running server's /metrics exposition"
+    )
+    p_metrics.add_argument("--url", default="http://127.0.0.1:8750",
+                           help="base URL of the repro serve instance")
+    p_metrics.set_defaults(func=_cmd_metrics)
+
     args = parser.parse_args(argv)
-    return args.func(args)
+    with _maybe_trace(args):
+        return args.func(args)
 
 
 if __name__ == "__main__":

@@ -75,6 +75,7 @@ from typing import (
 )
 
 from repro.core.results import BATCH_SCHEMA, IntegrationResult
+from repro.obs import TRACER, span, tracing_enabled
 from repro.soc.soc import Soc
 from repro.util import Table, format_cycles
 
@@ -110,6 +111,10 @@ class BatchItem:
     soc_name: str
     result: Optional[IntegrationResult] = None
     error: Optional[str] = None
+    #: Span records captured in a process-pool worker, shipped back for
+    #: :meth:`repro.obs.Tracer.adopt`; transport-only — cleared on merge
+    #: and never serialized into :meth:`to_dict`.
+    spans: Optional[list] = None
 
     @property
     def ok(self) -> bool:
@@ -224,55 +229,91 @@ class BatchResult:
 # -- worker plumbing ---------------------------------------------------------
 
 
-def _integrate_item(steac: "Steac", index: int, item: WorkItem) -> BatchItem:
-    """Run one work item on one platform instance, isolating errors."""
+def _integrate_item(
+    steac: "Steac", index: int, item: WorkItem, span_parent: Optional[int] = None
+) -> BatchItem:
+    """Run one work item on one platform instance, isolating errors.
+
+    When tracing is on, the item runs under a ``batch.item`` span
+    carrying its batch position and — for spec work — the ``(profile,
+    seed, index)`` generation coordinates; ``span_parent`` pins the
+    batch-run span for worker threads, whose own span stacks are empty.
+    """
+    sp = span(
+        "batch.item", parent=span_parent, index=index,
+        profile=getattr(item, "profile", None), seed=getattr(item, "seed", None),
+    )
     name = f"soc[{index}]"
-    try:
-        # inside the try: a malformed spec may raise from its own name
-        # property (e.g. an unknown generator profile), and that must
-        # fail this item, not the batch
-        name = getattr(item, "name", None) or name
-        if isinstance(item, Soc):
-            soc = item
-        else:
-            build = getattr(item, "build", None)
-            if not callable(build):
-                raise TypeError(
-                    f"batch work item {item!r} is neither a Soc nor a spec "
-                    "with a build() method"
-                )
-            soc = build()
-            name = getattr(soc, "name", name)
-        return BatchItem(index=index, soc_name=name, result=steac.integrate(soc))
-    except Exception as exc:  # per-SOC isolation: record, don't raise
-        return BatchItem(index=index, soc_name=name, error=f"{type(exc).__name__}: {exc}")
+    with sp:
+        try:
+            # inside the try: a malformed spec may raise from its own name
+            # property (e.g. an unknown generator profile), and that must
+            # fail this item, not the batch
+            name = getattr(item, "name", None) or name
+            if isinstance(item, Soc):
+                soc = item
+            else:
+                build = getattr(item, "build", None)
+                if not callable(build):
+                    raise TypeError(
+                        f"batch work item {item!r} is neither a Soc nor a spec "
+                        "with a build() method"
+                    )
+                soc = build()
+                name = getattr(soc, "name", name)
+            out = BatchItem(index=index, soc_name=name, result=steac.integrate(soc))
+        except Exception as exc:  # per-SOC isolation: record, don't raise
+            out = BatchItem(
+                index=index, soc_name=name, error=f"{type(exc).__name__}: {exc}"
+            )
+        if sp.id is not None:
+            sp.set(soc=out.soc_name, ok=out.ok)
+        return out
 
 
 #: Per-process platform instance, created once by :func:`_init_process_worker`.
 _PROCESS_STEAC: Optional["Steac"] = None
 
 
-def _init_process_worker(config: "SteacConfig | None") -> None:
+def _init_process_worker(config: "SteacConfig | None", trace: bool = False) -> None:
     """Process-pool initializer: one ``Steac`` per worker process.
 
     The worker also accumulates the process-level
     :mod:`repro.sched.timecalc` scan-time-table cache across every chip
     it integrates — deliberately never cleared between items, so
     recurring core structures in a corpus pay for their wrapper sweep
-    once per worker lifetime, not once per chip."""
+    once per worker lifetime, not once per chip.  ``trace=True``
+    (mirrored from the parent's tracer state) turns tracing on in the
+    worker so per-item spans exist to ship back."""
     global _PROCESS_STEAC
     from repro.core.steac import Steac
 
+    if trace:
+        from repro.obs import enable_tracing
+
+        enable_tracing()
     _PROCESS_STEAC = Steac(config)
 
 
 def _process_one(index: int, item: WorkItem) -> BatchItem:
-    """Module-level (hence picklable) process-pool work function."""
-    return _integrate_item(_PROCESS_STEAC, index, item)
+    """Module-level (hence picklable) process-pool work function.
+
+    With tracing on, the worker's spans for this item ride back on
+    ``BatchItem.spans`` as plain record dicts (the worker runs items
+    sequentially, so a post-item drain captures exactly this item's
+    subtree); the parent re-homes them via ``Tracer.adopt``."""
+    out = _integrate_item(_PROCESS_STEAC, index, item)
+    if tracing_enabled():
+        out.spans = TRACER.drain()
+    return out
 
 
 def _run_threads(
-    items: list[WorkItem], config: "SteacConfig | None", workers: int
+    items: list[WorkItem],
+    config: "SteacConfig | None",
+    workers: int,
+    span_parent: Optional[int] = None,
+    progress: Optional[Callable] = None,
 ) -> list[BatchItem]:
     """Thread backend: one lazily-constructed ``Steac`` per worker thread."""
     from repro.core.steac import Steac
@@ -283,9 +324,11 @@ def _run_threads(
         steac = getattr(local, "steac", None)
         if steac is None:
             steac = local.steac = Steac(config)
-        return _integrate_item(steac, index, item)
+        return _integrate_item(steac, index, item, span_parent=span_parent)
 
-    return map_backend(run, (range(len(items)), items), "thread", workers)
+    return map_backend(
+        run, (range(len(items)), items), "thread", workers, progress=progress
+    )
 
 
 def auto_workers(n_items: int) -> int:
@@ -309,6 +352,20 @@ def resolve_backend(backend: str, workers: int, n_items: int) -> str:
     return "process"
 
 
+def _drain(results: Iterable, progress: Optional[Callable]) -> list:
+    """Collect mapped results, reporting each to ``progress`` as it
+    lands.  ``executor.map`` yields in input order, so the callback
+    sees head-of-line completion — later results may already be done —
+    but the reported count is always monotone non-decreasing."""
+    if progress is None:
+        return list(results)
+    out = []
+    for result in results:
+        progress(result)
+        out.append(result)
+    return out
+
+
 def map_backend(
     fn: Callable,
     iterables: Sequence[Iterable],
@@ -317,6 +374,7 @@ def map_backend(
     chunksize: int = 1,
     initializer: Optional[Callable] = None,
     initargs: tuple = (),
+    progress: Optional[Callable] = None,
 ) -> list:
     """Order-preserving ``map(fn, *iterables)`` on a concrete backend.
 
@@ -326,21 +384,23 @@ def map_backend(
     order regardless of completion order).  For the process backend
     ``fn`` must be picklable (module-level), and ``initializer`` (when
     given) runs once per worker process; the other backends ignore it —
-    their callers do per-worker setup in ``fn`` itself.
+    their callers do per-worker setup in ``fn`` itself.  ``progress``
+    (when given) is called with each result as it is collected — the
+    hook live job progress (:class:`repro.obs.JobProgress`) hangs off.
     """
     if backend == "process":
         with ProcessPoolExecutor(
             max_workers=workers, initializer=initializer, initargs=initargs
         ) as pool:
-            return list(pool.map(fn, *iterables, chunksize=chunksize))
+            return _drain(pool.map(fn, *iterables, chunksize=chunksize), progress)
     if backend == "thread":
         with ThreadPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(fn, *iterables))
+            return _drain(pool.map(fn, *iterables), progress)
     if backend != "serial":
         raise ValueError(
             f"unresolved batch backend {backend!r}; run resolve_backend() first"
         )
-    return [fn(*args) for args in zip(*iterables)]
+    return _drain((fn(*args) for args in zip(*iterables)), progress)
 
 
 def integrate_many(
@@ -348,6 +408,7 @@ def integrate_many(
     config: "SteacConfig | None" = None,
     workers: Optional[int] = None,
     backend: str = "auto",
+    progress=None,
 ) -> BatchResult:
     """Integrate every SOC in ``socs`` concurrently.
 
@@ -367,6 +428,11 @@ def integrate_many(
             ``multiprocessing`` — requires the calling script to guard
             its entry point with ``if __name__ == "__main__":``; pass
             ``backend="thread"`` to keep the old thread-pool behaviour.
+        progress: optional :class:`repro.obs.JobProgress` (or anything
+            with its ``start``/``advance`` shape) bumped once per
+            finished chip — the serving layer passes the job's progress
+            object here so ``GET /jobs/<id>`` shows live per-scenario
+            counts while the batch runs.
 
     Returns:
         A :class:`BatchResult` whose items are in ``socs`` order; a SOC
@@ -383,43 +449,64 @@ def integrate_many(
     backend = resolve_backend(backend, workers, len(items))
 
     started = time.perf_counter()
-    if not items:
-        out: list[BatchItem] = []
-    elif backend == "process":
-        chunksize = max(1, len(items) // (workers * _CHUNKS_PER_WORKER))
-        try:
+    note = None
+    if progress is not None:
+        progress.start(len(items))
+
+        def note(item: BatchItem) -> None:
+            progress.advance(failed=0 if item.ok else 1)
+
+    bsp = span("batch.run", backend=backend, chips=len(items))
+    with bsp:
+        if not items:
+            out: list[BatchItem] = []
+        elif backend == "process":
+            chunksize = max(1, len(items) // (workers * _CHUNKS_PER_WORKER))
+            try:
+                out = map_backend(
+                    _process_one,
+                    (range(len(items)), items),
+                    backend,
+                    workers,
+                    chunksize=chunksize,
+                    initializer=_init_process_worker,
+                    initargs=(config, tracing_enabled()),
+                    progress=note,
+                )
+            except Exception:
+                # anything escaping pool.map is pool machinery, not
+                # integration logic (per-item errors are already caught in
+                # _integrate_item): an unpicklable item/result or a crashed
+                # worker.  When the caller asked for "auto", retry on the
+                # thread backend (no pickle boundary, same deterministic
+                # results) to honour the per-SOC isolation promise; an
+                # *explicit* process request propagates the failure, so CI
+                # smoke runs can catch picklability regressions.
+                if requested != "auto":
+                    raise
+                backend = "thread"
+                out = _run_threads(
+                    items, config, workers, span_parent=bsp.id, progress=note
+                )
+            else:
+                # re-home worker-side span records under the batch span
+                for item in out:
+                    if item.spans:
+                        TRACER.adopt(item.spans, parent=bsp.id)
+                    item.spans = None
+        elif backend == "thread":
+            out = _run_threads(
+                items, config, workers, span_parent=bsp.id, progress=note
+            )
+        else:  # serial: one shared Steac in the calling thread
+            steac = Steac(config)
             out = map_backend(
-                _process_one,
+                lambda i, item: _integrate_item(steac, i, item),
                 (range(len(items)), items),
                 backend,
                 workers,
-                chunksize=chunksize,
-                initializer=_init_process_worker,
-                initargs=(config,),
+                progress=note,
             )
-        except Exception:
-            # anything escaping pool.map is pool machinery, not
-            # integration logic (per-item errors are already caught in
-            # _integrate_item): an unpicklable item/result or a crashed
-            # worker.  When the caller asked for "auto", retry on the
-            # thread backend (no pickle boundary, same deterministic
-            # results) to honour the per-SOC isolation promise; an
-            # *explicit* process request propagates the failure, so CI
-            # smoke runs can catch picklability regressions.
-            if requested != "auto":
-                raise
-            backend = "thread"
-            out = _run_threads(items, config, workers)
-    elif backend == "thread":
-        out = _run_threads(items, config, workers)
-    else:  # serial: one shared Steac in the calling thread
-        steac = Steac(config)
-        out = map_backend(
-            lambda i, item: _integrate_item(steac, i, item),
-            (range(len(items)), items),
-            backend,
-            workers,
-        )
     return BatchResult(
         items=out,
         workers=workers,

@@ -13,8 +13,10 @@ flow, replace a stage, or append their own:
     >>> ctx.schedule.total_time                            # doctest: +SKIP
 
 Stages mutate the context in place; each records its wall-clock time in
-``ctx.stage_seconds``.  A stage only reads artifacts produced by earlier
-stages, so any prefix of the default flow is a valid flow.
+``ctx.stage_seconds`` (and in the ``pipeline.stage.seconds`` histogram
+— plus one ``pipeline.<stage>`` span when :mod:`repro.obs` tracing is
+enabled).  A stage only reads artifacts produced by earlier stages, so
+any prefix of the default flow is a valid flow.
 """
 
 from __future__ import annotations
@@ -25,6 +27,7 @@ from typing import TYPE_CHECKING, Optional, Sequence
 
 from repro.bist.compiler import BistEngine, Brains, BrainsConfig
 from repro.netlist import Module, Netlist, PortDir
+from repro.obs import METRICS, span
 from repro.patterns.ate import AteProgram
 from repro.patterns.core_patterns import CorePatternSet
 from repro.patterns.translate import (
@@ -51,6 +54,10 @@ if TYPE_CHECKING:  # pragma: no cover
 #: its own set.  The MILP is deliberately absent — it is minutes, not
 #: milliseconds, on real chips; opt in via ``SteacConfig.compare_with``.
 DEFAULT_COMPARE_STRATEGIES: tuple[str, ...] = ("session", "nonsession", "serial")
+
+_STAGE_SECONDS = METRICS.histogram(
+    "pipeline.stage.seconds", "wall time per pipeline stage execution"
+)
 
 
 @dataclass
@@ -119,10 +126,13 @@ class Stage:
 
     def run(self, ctx: FlowContext) -> FlowContext:
         started = time.perf_counter()
-        self.execute(ctx)
+        with span("pipeline." + self.name, soc=ctx.soc.name):
+            self.execute(ctx)
+        elapsed = time.perf_counter() - started
         ctx.stage_seconds[self.name] = (
-            ctx.stage_seconds.get(self.name, 0.0) + time.perf_counter() - started
+            ctx.stage_seconds.get(self.name, 0.0) + elapsed
         )
+        _STAGE_SECONDS.observe(elapsed, stage=self.name)
         return ctx
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

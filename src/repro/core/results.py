@@ -7,7 +7,7 @@ and CI can consume integration outcomes without scraping ASCII tables —
 the reproducibility posture argued by SAIBERSOC (Rosso et al., 2020) and
 "Testing SOAR Tools in Use" (Bridges et al., 2022).
 
-Schema (``schema`` = ``"repro/integration-result/v3"``; documented in
+Schema (``schema`` = ``"repro/integration-result/v4"``; documented in
 ``ARCHITECTURE.md``; golden-file regression fixtures live in
 ``tests/golden/``)::
 
@@ -31,13 +31,17 @@ Schema (``schema`` = ``"repro/integration-result/v3"``; documented in
     tam            {width, slots: [{session, core, task, wires}]}
     dft_area       {chip_gates, overhead_percent, items: [{name, gates}]}
     programs       {name: {cycles, pins}}
+    trace          null | {name, count, seconds, children: [...]}
     runtime_seconds, stage_seconds
 
 v2 added the nullable ``repair`` key (and a "BISR" line in
 ``dft_area.items`` when repair analysis ran) on top of v1; v3 adds the
 nullable ``verification`` key (populated when the flow ran with
-``SteacConfig.verify_schedule``).  Each version is a strict superset of
-the previous one, so consumers that ignore unknown keys keep working.
+``SteacConfig.verify_schedule``); v4 adds the nullable ``trace`` key —
+the compact span-summary tree from :func:`repro.obs.summarize`,
+populated when :mod:`repro.obs` tracing was enabled during the flow.
+Each version is a strict superset of the previous one, so consumers
+that ignore unknown keys keep working.
 
 All values are JSON types, so ``json.loads(r.to_json()) == r.to_dict()``
 round-trips exactly.
@@ -62,8 +66,11 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.repair.analysis import RepairAnalysis
     from repro.verify.report import VerificationReport
 
-RESULT_SCHEMA = "repro/integration-result/v3"
-BATCH_SCHEMA = "repro/batch-result/v3"
+RESULT_SCHEMA = "repro/integration-result/v4"
+# bumped alongside the item schema: batch documents embed v4 item
+# results, and the serve cache keys on the schema string, so stale
+# embedded documents can never be served from disk
+BATCH_SCHEMA = "repro/batch-result/v4"
 
 
 @dataclass
@@ -82,6 +89,7 @@ class IntegrationResult:
     programs: dict[str, AteProgram] = field(default_factory=dict)
     repair: Optional["RepairAnalysis"] = None
     verification: Optional["VerificationReport"] = None
+    trace: Optional[dict] = None
     runtime_seconds: float = 0.0
     stage_seconds: dict[str, float] = field(default_factory=dict)
 
@@ -179,6 +187,7 @@ class IntegrationResult:
             "programs": {
                 name: program.to_dict() for name, program in sorted(self.programs.items())
             },
+            "trace": self.trace,
             "runtime_seconds": round(self.runtime_seconds, 6),
             "stage_seconds": {k: round(v, 6) for k, v in self.stage_seconds.items()},
         }

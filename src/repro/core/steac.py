@@ -26,6 +26,7 @@ from repro.bist.march import MARCH_C_MINUS, MarchTest
 from repro.core.batch import BatchResult, WorkItem, integrate_many
 from repro.core.pipeline import FlowContext, Pipeline, default_stages
 from repro.core.results import IntegrationResult
+from repro.obs import TRACER, span, summarize
 from repro.patterns.core_patterns import CorePatternSet
 from repro.sched.ioalloc import SharingPolicy
 from repro.sched.registry import resolve_schedule
@@ -137,16 +138,24 @@ class Steac:
                 repair=self.config.analyze_repair,
                 verify=self.config.verify_schedule,
             ))
-        pipeline.run(ctx)
-        return IntegrationResult.from_context(
+        sp = span("integrate", soc=soc.name, strategy=self.config.strategy)
+        with sp:
+            pipeline.run(ctx)
+        result = IntegrationResult.from_context(
             ctx, runtime_seconds=time.perf_counter() - started
         )
+        if sp.id is not None:
+            # tracing was on: attach the compact span summary (the
+            # ``trace`` section of the v4 result schema)
+            result.trace = summarize(TRACER.records(), sp.id)
+        return result
 
     def integrate_many(
         self,
         socs: Sequence[WorkItem],
         workers: Optional[int] = None,
         backend: str = "auto",
+        progress=None,
     ) -> BatchResult:
         """Integrate many SOCs (live models or buildable specs)
         concurrently under this configuration.
@@ -154,10 +163,12 @@ class Steac:
         Results come back in input order with per-SOC error isolation;
         each worker (thread or process, per ``backend``) runs its own
         ``Steac`` built from this platform's config; see
-        :func:`repro.core.batch.integrate_many`.
+        :func:`repro.core.batch.integrate_many` (including the
+        ``progress`` live-counter hook).
         """
         return integrate_many(
-            socs, config=self.config, workers=workers, backend=backend
+            socs, config=self.config, workers=workers, backend=backend,
+            progress=progress,
         )
 
     def _schedule(self, soc: Soc, tasks, strategy: str) -> ScheduleResult:

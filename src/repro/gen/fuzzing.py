@@ -92,6 +92,7 @@ def run_fuzz(
     ilp_max_tasks: int = 6,
     workers: Optional[int] = None,
     backend: str = "auto",
+    progress=None,
 ) -> dict:
     """Run a differential fuzz sweep, returning the
     ``repro/fuzz-report/v1`` document (``doc["ok"]`` is the verdict;
@@ -101,8 +102,13 @@ def run_fuzz(
     worker per seed, capped at the CPUs) and the default sweep serial —
     serial stays safe for in-process plugin registries, whose entries
     never reach spawned worker processes.
+
+    ``progress`` is an optional :class:`repro.obs.JobProgress` bumped
+    once per finished scenario (with its violation count), so a served
+    fuzz job exposes live ``done/total`` while the sweep runs.
     """
     from repro.core.batch import auto_workers, map_backend, resolve_backend
+    from repro.obs import span
     from repro.sched import available_strategies
 
     if seeds < 1:
@@ -116,17 +122,26 @@ def run_fuzz(
     else:
         worker_count = 1
     resolved = resolve_backend(backend, worker_count, len(seed_list))
-    outcomes = map_backend(
-        fuzz_scenario,
-        (
-            itertools.repeat(profile),
-            seed_list,
-            itertools.repeat(tuple(strategy_list)),
-            itertools.repeat(ilp_max_tasks),
-        ),
-        resolved,
-        worker_count,
-    )
+    note = None
+    if progress is not None:
+        progress.start(len(seed_list))
+
+        def note(outcome) -> None:
+            progress.advance(violations=outcome[1])
+
+    with span("fuzz.run", profile=profile, seeds=seeds, backend=resolved):
+        outcomes = map_backend(
+            fuzz_scenario,
+            (
+                itertools.repeat(profile),
+                seed_list,
+                itertools.repeat(tuple(strategy_list)),
+                itertools.repeat(ilp_max_tasks),
+            ),
+            resolved,
+            worker_count,
+            progress=note,
+        )
     violation_count = sum(count for _, count in outcomes)
     return {
         "schema": FUZZ_SCHEMA,

@@ -1,0 +1,61 @@
+"""Live per-scenario progress for long-running jobs.
+
+A :class:`JobProgress` is the shared mutable counter a batch or fuzz
+execution increments as scenarios finish and a poller (``GET
+/jobs/<id>`` on the serve layer) snapshots while the job runs.  The
+contract the serve tests pin:
+
+* ``done`` is monotone non-decreasing and never exceeds ``total``;
+* :meth:`snapshot` is internally consistent (taken under the same lock
+  every :meth:`advance` holds — no torn reads);
+* the object is cheap enough to bump once per scenario, not per move.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+
+class JobProgress:
+    """Thread-safe scenarios-done/total (+ violations/failures) counter."""
+
+    __slots__ = ("_lock", "_total", "_done", "_violations", "_failed")
+
+    def __init__(self, total: Optional[int] = None):
+        self._lock = threading.Lock()
+        self._total = total
+        self._done = 0
+        self._violations = 0
+        self._failed = 0
+
+    def start(self, total: int) -> None:
+        """Declare the scenario count (idempotent; keeps the max so a
+        late re-declare can never make ``done > total``)."""
+        with self._lock:
+            if self._total is None or total > self._total:
+                self._total = total
+
+    def advance(self, n: int = 1, violations: int = 0, failed: int = 0) -> None:
+        """Record ``n`` finished scenarios (with any violations found
+        and failures among them)."""
+        with self._lock:
+            self._done += n
+            self._violations += violations
+            self._failed += failed
+
+    @property
+    def done(self) -> int:
+        with self._lock:
+            return self._done
+
+    def snapshot(self) -> dict:
+        """A consistent JSON-native view — the ``progress`` section of
+        the serve job document."""
+        with self._lock:
+            return {
+                "total": self._total,
+                "done": self._done,
+                "violations": self._violations,
+                "failed": self._failed,
+            }

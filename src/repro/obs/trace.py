@@ -1,0 +1,324 @@
+"""Process-local tracing: nestable spans over the integration flow.
+
+A span is one timed region of the flow — a pipeline stage, a scheduler
+search, one chip of a batch — opened with :func:`span` as a context
+manager::
+
+    with span("sched.session_search", soc="d695", tasks=21) as sp:
+        ...
+        sp.set(makespan=41232)
+
+Spans nest through a per-thread stack, so a span opened inside another
+becomes its child without explicit wiring.  When the tracer is
+*disabled* (the default) :func:`span` returns a shared singleton no-op
+object — no allocation, no clock reads, no lock — so instrumented hot
+paths cost one truthiness check (``bench_sched_search.py`` gates the
+end-to-end overhead at <2%).
+
+Records are plain dicts (``{"id", "parent", "name", "start", "dur",
+"attrs"}``) — picklable and JSON-native by construction — so batch
+process workers can ship their spans back to the parent
+(:meth:`Tracer.drain` in the worker, :meth:`Tracer.adopt` in the
+parent, which remaps ids and re-parents worker roots under the batch
+span).  ``start`` is wall-clock (:func:`time.time`) for cross-process
+alignment; ``dur`` comes from :func:`time.perf_counter` deltas.
+
+Two consumers read the records:
+
+* :meth:`Tracer.export_jsonl` writes one record per line (the CLI's
+  ``--trace-out``); :func:`load_jsonl` + :func:`span_tree` replay the
+  file into a nested tree.
+* :func:`summarize` folds a subtree into a compact aggregate (children
+  grouped by name, counts and summed seconds) — the ``trace`` section
+  of the v4 integration-result schema.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+import time
+from typing import IO, Optional, Union
+
+
+class _NullSpan:
+    """The shared do-nothing span handed out while tracing is disabled."""
+
+    __slots__ = ()
+    id: Optional[int] = None
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set(self, **attrs) -> "_NullSpan":
+        return self
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """One live timed region; becomes a record dict when it closes."""
+
+    __slots__ = ("_tracer", "name", "attrs", "id", "parent", "_start", "_t0")
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        attrs: dict,
+        parent: Optional[int] = None,
+    ):
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.parent = parent
+        self.id: Optional[int] = None
+
+    def set(self, **attrs) -> "Span":
+        """Attach (or overwrite) attributes on the open span."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        tracer = self._tracer
+        stack = tracer._stack()
+        if self.parent is None and stack:
+            self.parent = stack[-1]
+        self.id = next(tracer._ids)
+        stack.append(self.id)
+        self._start = time.time()
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        dur = time.perf_counter() - self._t0
+        stack = self._tracer._stack()
+        if stack and stack[-1] == self.id:
+            stack.pop()
+        else:  # pragma: no cover — unbalanced exit (exception mid-stack)
+            try:
+                stack.remove(self.id)
+            except ValueError:
+                pass
+        self._tracer._append({
+            "id": self.id,
+            "parent": self.parent,
+            "name": self.name,
+            "start": self._start,
+            "dur": dur,
+            "attrs": self.attrs,
+        })
+        return False
+
+
+class Tracer:
+    """A process-local span recorder.
+
+    Disabled by default: :meth:`span` then returns the singleton no-op
+    span.  Enabling is process-wide for this tracer; the per-thread
+    span stack keeps concurrent threads' spans correctly parented.
+    """
+
+    def __init__(self) -> None:
+        self._enabled = False
+        self._records: list[dict] = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._ids = itertools.count(1)
+
+    # -- state -------------------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    def enable(self) -> None:
+        self._enabled = True
+
+    def disable(self) -> None:
+        self._enabled = False
+
+    def clear(self) -> None:
+        """Drop every recorded span (the enabled flag is untouched)."""
+        with self._lock:
+            self._records.clear()
+
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _append(self, record: dict) -> None:
+        with self._lock:
+            self._records.append(record)
+
+    def current_span_id(self) -> Optional[int]:
+        """The innermost open span on this thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    # -- span creation -----------------------------------------------------
+
+    def span(
+        self, name: str, parent: Optional[int] = None, **attrs
+    ) -> Union[Span, _NullSpan]:
+        """A new child span (no-op while disabled).
+
+        ``parent`` pins the parent id explicitly — cross-thread callers
+        (batch worker threads) use this; same-thread callers inherit
+        the innermost open span from the stack.
+        """
+        if not self._enabled:
+            return _NULL_SPAN
+        return Span(self, name, attrs, parent=parent)
+
+    # -- record access -----------------------------------------------------
+
+    def records(self) -> list[dict]:
+        """A snapshot copy of every closed span, in completion order."""
+        with self._lock:
+            return list(self._records)
+
+    def drain(self) -> list[dict]:
+        """Remove and return every closed span (worker-side shipping)."""
+        with self._lock:
+            records, self._records = self._records, []
+        return records
+
+    def adopt(self, records: list[dict], parent: Optional[int] = None) -> None:
+        """Merge records from another process into this tracer.
+
+        Worker-assigned ids collide with local ones, so every record
+        gets a fresh id; roots (and records whose parent is not in the
+        shipped set) are re-parented under ``parent``.
+        """
+        if not records:
+            return
+        with self._lock:
+            mapping = {r["id"]: next(self._ids) for r in records}
+            for r in records:
+                merged = dict(r)
+                merged["id"] = mapping[r["id"]]
+                merged["parent"] = mapping.get(r["parent"], parent)
+                self._records.append(merged)
+
+    def export_jsonl(self, path_or_file: Union[str, IO[str]]) -> int:
+        """Write every record as one JSON object per line; returns the
+        record count."""
+        records = self.records()
+        if hasattr(path_or_file, "write"):
+            for record in records:
+                path_or_file.write(json.dumps(record, sort_keys=True) + "\n")
+        else:
+            with open(path_or_file, "w") as handle:
+                for record in records:
+                    handle.write(json.dumps(record, sort_keys=True) + "\n")
+        return len(records)
+
+
+#: The process-wide tracer every instrumented module shares.
+TRACER = Tracer()
+
+
+def span(name: str, parent: Optional[int] = None, **attrs):
+    """A span on the global :data:`TRACER` (no-op while disabled)."""
+    return TRACER.span(name, parent=parent, **attrs)
+
+
+def tracing_enabled() -> bool:
+    """Whether the global tracer is recording (hot-path guard)."""
+    return TRACER._enabled
+
+
+def enable_tracing() -> None:
+    TRACER.enable()
+
+
+def disable_tracing() -> None:
+    TRACER.disable()
+
+
+# -- replay / aggregation ----------------------------------------------------
+
+
+def load_jsonl(path_or_file: Union[str, IO[str]]) -> list[dict]:
+    """Read records back from a ``--trace-out`` JSONL file."""
+    if hasattr(path_or_file, "read"):
+        lines = path_or_file.read().splitlines()
+    else:
+        with open(path_or_file) as handle:
+            lines = handle.read().splitlines()
+    return [json.loads(line) for line in lines if line.strip()]
+
+
+def span_tree(records: list[dict]) -> list[dict]:
+    """Replay flat records into a nested tree.
+
+    Returns the root spans (parent absent from the record set), oldest
+    first, each with a ``children`` list in start order.  Every node is
+    a copy — the input records are untouched.
+    """
+    nodes = {r["id"]: {**r, "children": []} for r in records}
+    roots = []
+    for record in sorted(records, key=lambda r: r["start"]):
+        node = nodes[record["id"]]
+        parent = nodes.get(record["parent"])
+        if parent is None:
+            roots.append(node)
+        else:
+            parent["children"].append(node)
+    return roots
+
+
+def subtree(records: list[dict], root_id: int) -> list[dict]:
+    """The records reachable from ``root_id`` (inclusive)."""
+    children: dict[Optional[int], list[dict]] = {}
+    for record in records:
+        children.setdefault(record["parent"], []).append(record)
+    out: list[dict] = []
+    frontier = [r for r in records if r["id"] == root_id]
+    while frontier:
+        record = frontier.pop()
+        out.append(record)
+        frontier.extend(children.get(record["id"], []))
+    return out
+
+
+def summarize(records: list[dict], root_id: int) -> Optional[dict]:
+    """Fold the subtree under ``root_id`` into a compact aggregate.
+
+    Children are grouped by span name at every level: a batch of 100
+    chips summarizes to one ``batch.item`` node with ``count: 100``
+    and the summed seconds, not 100 siblings.  This is the ``trace``
+    section of the v4 integration-result schema::
+
+        {"name": ..., "count": n, "seconds": s, "children": [...]}
+    """
+    by_id = {r["id"]: r for r in records}
+    if root_id not in by_id:
+        return None
+    kids: dict[Optional[int], list[dict]] = {}
+    for record in records:
+        kids.setdefault(record["parent"], []).append(record)
+
+    def fold(group: list[dict]) -> dict:
+        node = {
+            "name": group[0]["name"],
+            "count": len(group),
+            "seconds": round(sum(r["dur"] for r in group), 6),
+        }
+        children = [c for r in group for c in kids.get(r["id"], [])]
+        if children:
+            grouped: dict[str, list[dict]] = {}
+            for child in sorted(children, key=lambda c: c["start"]):
+                grouped.setdefault(child["name"], []).append(child)
+            node["children"] = [fold(g) for g in grouped.values()]
+        return node
+
+    return fold([by_id[root_id]])

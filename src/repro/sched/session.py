@@ -33,6 +33,7 @@ from __future__ import annotations
 import itertools
 from typing import Optional
 
+from repro.obs import METRICS, span
 from repro.sched.bounds import session_schedule_floor
 from repro.sched.ioalloc import SharingPolicy, control_pins
 from repro.sched.power import fits_power_budget
@@ -43,6 +44,35 @@ from repro.soc.soc import Soc
 
 class InfeasibleScheduleError(ValueError):
     """Raised when no feasible schedule exists for the given resources."""
+
+
+# Search telemetry (see repro.obs): the hot loop counts into plain local
+# ints and flushes here once per scheduling run, so the instrumented
+# path costs additions, not lock round-trips.
+_M_RUNS = METRICS.counter("sched.runs", "session-search invocations")
+_M_ROUNDS = METRICS.counter("sched.rounds", "local-search improvement rounds run")
+_M_MOVES = METRICS.counter(
+    "sched.moves.evaluated", "single-task moves and pairwise swaps evaluated"
+)
+_M_MOVES_PRUNED = METRICS.counter(
+    "sched.moves.pruned",
+    "neighborhood moves skipped because the incumbent hit session_schedule_floor",
+)
+_M_CANDIDATES_PRUNED = METRICS.counter(
+    "sched.candidates.pruned",
+    "candidate session counts skipped once the incumbent hit the floor",
+)
+_M_FLOOR_EXITS = METRICS.counter(
+    "sched.floor_exits", "local-search terminations by reason"
+)
+for _reason in ("floor", "converged", "max_rounds"):
+    _M_FLOOR_EXITS.inc(0, reason=_reason)
+_M_MEMO_HITS = METRICS.counter(
+    "cache.evaluator_memo.hits", "session-evaluator membership-memo hits"
+)
+_M_MEMO_MISSES = METRICS.counter(
+    "cache.evaluator_memo.misses", "session-evaluator membership-memo misses"
+)
 
 
 def assign_widths(tasks: list[TestTask], data_pins: int) -> Optional[dict[str, int]]:
@@ -284,6 +314,7 @@ def _local_search(
     reconfig: int,
     floor: int,
     max_rounds: int = 60,
+    stats: Optional[dict] = None,
 ) -> tuple[list[list[TestTask]], int]:
     """First-improvement local search (moves, then swaps), incremental.
 
@@ -293,18 +324,38 @@ def _local_search(
     makespan is ≥ the floor, so no *strict* improvement exists and the
     reference search's remaining rounds would scan and accept nothing.
     Returns the improved memberships and their makespan.
+
+    ``stats`` (when given) accumulates search telemetry — plain local
+    integer counters, flushed by the caller, so the hot loop never
+    touches a lock: ``rounds``, ``moves`` (move and swap candidates
+    evaluated), ``moves_pruned`` (on a floor exit, the size of the
+    neighborhood — ``(k-1)·n`` single-task moves plus the pairwise swap
+    space — that the reference search would have scanned next without
+    accepting anything), and ``exits[reason]`` for reason ``floor`` /
+    ``converged`` / ``max_rounds``.  Telemetry never influences the
+    search — bit-identity with the reference is unconditional.
     """
     k = len(members)
     sum_len = sum(ln for ln in lengths if ln)
     active = sum(1 for ln in lengths if ln)
     best_total = _makespan(sum_len, active, reconfig)
+    rounds = moves = pruned = 0
+    exit_reason = "max_rounds"
     for _ in range(max_rounds):
         if best_total <= floor:
+            exit_reason = "floor"
+            n_tasks = sum(len(m) for m in members)
+            pruned = (k - 1) * n_tasks + sum(
+                len(members[a]) * len(members[b])
+                for a, b in itertools.combinations(range(k), 2)
+            )
             break
+        rounds += 1
         improved = False
         # single-task moves
         for src, dst in itertools.permutations(range(k), 2):
             for ti in range(len(members[src])):
+                moves += 1
                 task = members[src][ti]
                 new_src = members[src][:ti] + members[src][ti + 1:]
                 len_src = evaluator.length(new_src)
@@ -339,6 +390,7 @@ def _local_search(
                 ta = members[sa][ti]
                 base_a = members[sa][:ti] + members[sa][ti + 1:]
                 for tj in range(len(members[sb])):
+                    moves += 1
                     tb = members[sb][tj]
                     new_a = base_a + [tb]
                     len_a = evaluator.length(new_a)
@@ -368,7 +420,13 @@ def _local_search(
             if improved:
                 break
         if not improved:
+            exit_reason = "converged"
             break
+    if stats is not None:
+        stats["rounds"] += rounds
+        stats["moves"] += moves
+        stats["moves_pruned"] += pruned
+        stats["exits"][exit_reason] += 1
     return members, best_total
 
 
@@ -421,18 +479,49 @@ def schedule_sessions(
         candidates = list(range(forced, min(len(tasks), forced + max_sessions - 1) + 1))
     evaluator = _SessionEvaluator(soc, policy)
     floor = session_schedule_floor(soc, tasks, reconfig)
+    stats = {"rounds": 0, "moves": 0, "moves_pruned": 0,
+             "exits": {"floor": 0, "converged": 0, "max_rounds": 0}}
+    candidates_pruned = 0
     best_members: Optional[list[list[TestTask]]] = None
     best_total: Optional[int] = None
-    for k in candidates:
-        if best_total is not None and best_total <= floor:
-            break  # bound pruning: every remaining k yields >= floor >= incumbent
-        seeded = _greedy_seed(tasks, k, evaluator, reconfig)
-        if seeded is None:
-            continue
-        members, lengths = seeded
-        members, total = _local_search(members, lengths, evaluator, reconfig, floor)
-        if best_total is None or total < best_total:
-            best_members, best_total = members, total
+    sp = span("sched.session_search", soc=soc.name, tasks=len(tasks))
+    try:
+        with sp:
+            for ci, k in enumerate(candidates):
+                if best_total is not None and best_total <= floor:
+                    # bound pruning: every remaining k yields >= floor >= incumbent
+                    candidates_pruned = len(candidates) - ci
+                    break
+                seeded = _greedy_seed(tasks, k, evaluator, reconfig)
+                if seeded is None:
+                    continue
+                members, lengths = seeded
+                members, total = _local_search(
+                    members, lengths, evaluator, reconfig, floor, stats=stats
+                )
+                if best_total is None or total < best_total:
+                    best_members, best_total = members, total
+            if sp.id is not None:
+                sp.set(
+                    floor=floor, makespan=best_total,
+                    rounds=stats["rounds"], moves=stats["moves"],
+                    moves_pruned=stats["moves_pruned"],
+                    candidates_pruned=candidates_pruned,
+                    memo_hits=evaluator.hits, memo_misses=evaluator.misses,
+                )
+    finally:
+        # one flush per scheduling run — the search itself only ever
+        # bumps plain local ints (see _local_search)
+        _M_RUNS.inc()
+        _M_ROUNDS.inc(stats["rounds"])
+        _M_MOVES.inc(stats["moves"])
+        _M_MOVES_PRUNED.inc(stats["moves_pruned"])
+        _M_CANDIDATES_PRUNED.inc(candidates_pruned)
+        for reason, count in stats["exits"].items():
+            if count:
+                _M_FLOOR_EXITS.inc(count, reason=reason)
+        _M_MEMO_HITS.inc(evaluator.hits)
+        _M_MEMO_MISSES.inc(evaluator.misses)
     if best_members is None:
         raise InfeasibleScheduleError(
             f"no feasible session schedule for {soc.name!r} with "

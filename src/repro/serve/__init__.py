@@ -3,7 +3,7 @@
 The platform's four entry points — ``integrate``, ``batch``, ``fuzz``,
 ``repair`` — become *submitted jobs*: ``POST /jobs`` returns a job id,
 ``GET /jobs/<id>`` reports progress, and finished jobs carry the exact
-wire documents (``repro/integration-result/v3`` and friends) the CLI
+wire documents (``repro/integration-result/v4`` and friends) the CLI
 emits, so shell and HTTP consumers are byte-comparable.
 
 Results are content-addressed: the cache key is sha256 over the

@@ -8,7 +8,7 @@ consumer of the wire protocol::
     client = ServeClient("http://127.0.0.1:8750")
     job = client.submit({"kind": "integrate", "soc": {"name": "d695"}})
     job = client.wait(job["id"])
-    doc = client.result(job["id"])          # the raw v3 document
+    doc = client.result(job["id"])          # the raw v4 document
 """
 
 from __future__ import annotations
@@ -117,6 +117,10 @@ class ServeClient:
 
     def stats(self) -> dict:
         return self.request("GET", "/stats")
+
+    def metrics_text(self) -> str:
+        """``GET /metrics`` — the Prometheus text exposition, verbatim."""
+        return self.request_text("GET", "/metrics")
 
     def shutdown(self) -> None:
         """Ask the server to drain and exit."""

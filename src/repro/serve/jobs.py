@@ -33,15 +33,33 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.obs import METRICS, JobProgress
 from repro.serve.cache import ResultCache
 from repro.serve.keys import JobError, normalize_payload
 from repro.serve.runners import content_address, execute
 
-JOB_SCHEMA = "repro/serve-job/v1"
+# v2 adds the nullable ``progress`` key (live done/total/violations for
+# batch and fuzz jobs) and derives queue/run durations from a monotonic
+# clock; v1 consumers that ignore unknown keys keep working
+JOB_SCHEMA = "repro/serve-job/v2"
 
 JOB_STATES = ("queued", "running", "done", "failed")
 
 _SENTINEL = None
+
+_M_SUBMITTED = METRICS.counter(
+    "serve.jobs.submitted", "jobs accepted by JobManager.submit"
+)
+_M_DONE = METRICS.counter(
+    "serve.jobs.done", "jobs finished successfully (cache hits included)"
+)
+_M_FAILED = METRICS.counter("serve.jobs.failed", "jobs finished in error")
+_M_EVICTED = METRICS.counter(
+    "serve.jobs.evicted", "terminal job records evicted from the bounded table"
+)
+_M_RUN_SECONDS = METRICS.histogram(
+    "serve.job.run_seconds", "wall time executing one job, labelled by kind"
+)
 
 
 @dataclass
@@ -60,18 +78,39 @@ class Job:
     submitted_at: float = 0.0
     started_at: Optional[float] = None
     finished_at: Optional[float] = None
+    # monotonic twins of the wall-clock checkpoints: durations are
+    # derived from these, so an NTP step or DST jump mid-job can never
+    # produce a negative (or wildly wrong) queued/run time
+    submitted_mono: float = 0.0
+    started_mono: Optional[float] = None
+    finished_mono: Optional[float] = None
+    progress: Optional[JobProgress] = None
 
     @property
     def kind(self) -> str:
         return self.normalized["kind"]
 
+    def mark_started(self) -> None:
+        self.started_at = time.time()
+        self.started_mono = time.monotonic()
+
+    def mark_finished(self) -> None:
+        self.finished_at = time.time()
+        self.finished_mono = time.monotonic()
+        if self.started_at is None:
+            # born-terminal paths (cache hit, submit-time failure)
+            # start and finish at the same instant
+            self.started_at = self.finished_at
+            self.started_mono = self.finished_mono
+
     def timing(self) -> dict:
-        """Wall-clock checkpoints and the derived queue/run durations."""
+        """Wall-clock checkpoints for display; queue/run durations come
+        from the monotonic clock, immune to wall-clock steps."""
         queued = run = None
-        if self.started_at is not None:
-            queued = round(self.started_at - self.submitted_at, 6)
-            if self.finished_at is not None:
-                run = round(self.finished_at - self.started_at, 6)
+        if self.started_mono is not None:
+            queued = round(self.started_mono - self.submitted_mono, 6)
+            if self.finished_mono is not None:
+                run = round(self.finished_mono - self.started_mono, 6)
         return {
             "submitted_at": self.submitted_at,
             "started_at": self.started_at,
@@ -89,6 +128,7 @@ class Job:
             "cached": self.cached,
             "cache_key": self.cache_key,
             "timing": self.timing(),
+            "progress": self.progress.snapshot() if self.progress else None,
         }
         if self.error is not None:
             doc["error"] = self.error
@@ -173,6 +213,7 @@ class JobManager:
         for job_id in victims:
             del self._jobs[job_id]
             self._evicted += 1
+            _M_EVICTED.inc()
 
     # -- submission --------------------------------------------------------
 
@@ -198,16 +239,19 @@ class JobManager:
                 normalized=normalized,
                 execution=execution,
                 submitted_at=now,
+                submitted_mono=time.monotonic(),
             )
             self._jobs[job.id] = job
+        _M_SUBMITTED.inc()
         try:
             job.cache_key, job.work = content_address(normalized)
         except JobError as exc:
             with self._lock:
                 job.status = "failed"
                 job.error = str(exc)
-                job.started_at = job.finished_at = time.time()
+                job.mark_finished()
                 self._evict_locked()
+            _M_FAILED.inc()
             return job
         cached = self.cache.get(job.cache_key)
         with self._lock:
@@ -215,10 +259,12 @@ class JobManager:
                 job.status = "done"
                 job.cached = True
                 job.result_text = cached
-                job.started_at = job.finished_at = time.time()
+                job.mark_finished()
             else:
                 self._queue.put(job.id)
             self._evict_locked()
+        if job.cached:
+            _M_DONE.inc()
         return job
 
     # -- execution ---------------------------------------------------------
@@ -235,30 +281,50 @@ class JobManager:
                 if job is None or job.status != "queued":
                     continue
                 job.status = "running"
-                job.started_at = time.time()
+                job.mark_started()
+                if job.kind in ("batch", "fuzz"):
+                    # long fan-out kinds get a live counter the engine
+                    # bumps per scenario; GET /jobs/<id> snapshots it
+                    job.progress = JobProgress()
             try:
-                doc = execute(job.normalized, job.work, job.execution)
+                doc = execute(
+                    job.normalized, job.work, job.execution,
+                    progress=job.progress,
+                )
                 text = result_to_text(doc)
             except JobError as exc:
                 with self._lock:
                     job.status = "failed"
                     job.error = str(exc)
-                    job.finished_at = time.time()
+                    job.mark_finished()
                     self._evict_locked()
+                self._observe_terminal(job, failed=True)
                 continue
             except Exception as exc:  # noqa: BLE001 — a worker must not die
                 with self._lock:
                     job.status = "failed"
                     job.error = f"internal error: {type(exc).__name__}: {exc}"
-                    job.finished_at = time.time()
+                    job.mark_finished()
                     self._evict_locked()
+                self._observe_terminal(job, failed=True)
                 continue
             self.cache.put(job.cache_key, text)
             with self._lock:
                 job.result_text = text
                 job.status = "done"
-                job.finished_at = time.time()
+                job.mark_finished()
                 self._evict_locked()
+            self._observe_terminal(job, failed=False)
+
+    @staticmethod
+    def _observe_terminal(job: Job, failed: bool) -> None:
+        """Bump the terminal counters and the run-time histogram for a
+        job that actually executed (cache hits never reach here)."""
+        (_M_FAILED if failed else _M_DONE).inc()
+        if job.finished_mono is not None and job.started_mono is not None:
+            _M_RUN_SECONDS.observe(
+                job.finished_mono - job.started_mono, kind=job.kind
+            )
 
     # -- inspection --------------------------------------------------------
 
@@ -283,6 +349,8 @@ class JobManager:
                 by_status[job.status] += 1
             submitted = self._counter
             evicted = self._evicted
+        from repro.sched.timecalc import scan_time_cache_stats
+
         doc = {
             "schema": "repro/serve-stats/v1",
             "uptime_seconds": round(time.time() - self.started, 3),
@@ -296,6 +364,7 @@ class JobManager:
                 **by_status,
             },
             "cache": self.cache.stats(),
+            "scan_time_cache": scan_time_cache_stats(),
         }
         return doc
 
@@ -315,7 +384,7 @@ class JobManager:
                     if job.status == "queued":
                         job.status = "failed"
                         job.error = "server stopped before execution"
-                        job.finished_at = time.time()
+                        job.mark_finished()
         for _ in self._threads:
             self._queue.put(_SENTINEL)
         for thread in self._threads:

@@ -120,67 +120,26 @@ def _as_soc(item: WorkItem) -> Soc:
     return item.build() if isinstance(item, ScenarioSpec) else item
 
 
-def execute(normalized: dict, work: list[WorkItem], execution: dict) -> dict:
+def execute(
+    normalized: dict, work: list[WorkItem], execution: dict, progress=None
+) -> dict:
     """Run a normalized job, returning its wire document.
 
     ``execution`` carries the non-semantic knobs (``backend`` /
     ``workers``); they steer *how fast* the answer arrives, never what
-    it is — the cache relies on that.
+    it is — the cache relies on that.  ``progress`` is an optional
+    :class:`repro.obs.JobProgress` threaded into the batch and fuzz
+    engines so long jobs expose live per-scenario counters while
+    running; the other kinds (one chip, one report) ignore it.
     """
+    from repro.obs import span
+
     kind = normalized["kind"]
     backend = execution.get("backend") or "auto"
     workers = execution.get("workers")
     try:
-        if kind == "integrate":
-            from repro.core import Steac, SteacConfig
-
-            config = SteacConfig(
-                strategy=normalized["strategy"],
-                compare_strategies=normalized["compare"],
-                verify_schedule=normalized["verify"],
-            )
-            return Steac(config).integrate(_as_soc(work[0])).to_dict()
-        if kind == "batch":
-            from repro.core import Steac, SteacConfig
-
-            config = SteacConfig(
-                strategy=normalized["strategy"],
-                compare_strategies=False,
-                verify_schedule=normalized["verify"],
-            )
-            return (
-                Steac(config)
-                .integrate_many(work, workers=workers, backend=backend)
-                .to_dict()
-            )
-        if kind == "fuzz":
-            from repro.gen import run_fuzz
-
-            return run_fuzz(
-                profile=normalized["profile"],
-                seeds=normalized["seeds"],
-                seed_base=normalized["seed_base"],
-                strategies=normalized["strategies"],
-                ilp_max_tasks=normalized["ilp_max_tasks"],
-                workers=workers,
-                backend=backend,
-            )
-        if kind == "repair":
-            from repro.repair import repair_report
-
-            return repair_report(
-                _as_soc(work[0]),
-                seed=normalized["seed"],
-                trials=normalized["trials"],
-                workers=workers or 0,
-                allocator=normalized["allocator"],
-                defects=normalized["defects"],
-                defect_density=normalized["defect_density"],
-                spare_rows=normalized["spare_rows"],
-                spare_cols=normalized["spare_cols"],
-                model_rows=normalized["model_rows"],
-            )
-        raise JobError(f"unknown job kind {kind!r}")
+        with span("serve.job", kind=kind, backend=backend):
+            return _dispatch(normalized, work, kind, backend, workers, progress)
     except (KeyError, ValueError) as exc:
         if isinstance(exc, JobError):
             raise
@@ -188,3 +147,61 @@ def execute(normalized: dict, work: list[WorkItem], execution: dict) -> dict:
         # model validation raise KeyError/ValueError — user input, not
         # a server fault
         raise JobError(str(exc)) from exc
+
+
+def _dispatch(
+    normalized: dict, work: list[WorkItem], kind, backend, workers, progress
+) -> dict:
+    if kind == "integrate":
+        from repro.core import Steac, SteacConfig
+
+        config = SteacConfig(
+            strategy=normalized["strategy"],
+            compare_strategies=normalized["compare"],
+            verify_schedule=normalized["verify"],
+        )
+        return Steac(config).integrate(_as_soc(work[0])).to_dict()
+    if kind == "batch":
+        from repro.core import Steac, SteacConfig
+
+        config = SteacConfig(
+            strategy=normalized["strategy"],
+            compare_strategies=False,
+            verify_schedule=normalized["verify"],
+        )
+        return (
+            Steac(config)
+            .integrate_many(
+                work, workers=workers, backend=backend, progress=progress
+            )
+            .to_dict()
+        )
+    if kind == "fuzz":
+        from repro.gen import run_fuzz
+
+        return run_fuzz(
+            profile=normalized["profile"],
+            seeds=normalized["seeds"],
+            seed_base=normalized["seed_base"],
+            strategies=normalized["strategies"],
+            ilp_max_tasks=normalized["ilp_max_tasks"],
+            workers=workers,
+            backend=backend,
+            progress=progress,
+        )
+    if kind == "repair":
+        from repro.repair import repair_report
+
+        return repair_report(
+            _as_soc(work[0]),
+            seed=normalized["seed"],
+            trials=normalized["trials"],
+            workers=workers or 0,
+            allocator=normalized["allocator"],
+            defects=normalized["defects"],
+            defect_density=normalized["defect_density"],
+            spare_rows=normalized["spare_rows"],
+            spare_cols=normalized["spare_cols"],
+            model_rows=normalized["model_rows"],
+        )
+    raise JobError(f"unknown job kind {kind!r}")

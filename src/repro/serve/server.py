@@ -5,11 +5,19 @@ Endpoints::
 
     GET  /healthz            liveness probe                     -> 200
     GET  /stats              pool + cache counters              -> 200
+    GET  /metrics            Prometheus text exposition         -> 200
     GET  /jobs               job listing (no result bodies)     -> 200
     GET  /jobs/<id>          one job, result inline when done   -> 200/404
     GET  /jobs/<id>/result   the raw result document, verbatim  -> 200/404/409
     POST /jobs               submit a job                       -> 201/400
     POST /shutdown           drain in-flight jobs and exit      -> 200
+
+``GET /metrics`` renders the process-wide :data:`repro.obs.METRICS`
+registry (scheduler counters, evaluator-memo and scan-time caches,
+pipeline stage histograms, job counters) plus this server's own result
+cache and job table as extra samples — one scrape covers all three
+caches.  While a batch or fuzz job runs, its live scenario counters
+also appear on ``GET /jobs/<id>`` under ``progress``.
 
 ``POST /jobs`` answers with the full job document, so a submit that
 hits the result cache returns ``status: "done"``, ``cached: true`` and
@@ -34,6 +42,32 @@ from repro.serve.keys import JobError
 MAX_BODY_BYTES = 16 * 1024 * 1024
 
 
+def render_server_metrics(manager: JobManager) -> str:
+    """The ``/metrics`` exposition: the global registry plus samples
+    scoped to this server instance (its result cache and job table,
+    which live on the manager rather than in the process registry)."""
+    from repro.obs import METRICS
+
+    cache = manager.cache.stats()
+    stats = manager.stats()
+    extra = [
+        ("cache.result.hits", "counter", None, cache["hits"]),
+        ("cache.result.misses", "counter", None, cache["misses"]),
+        ("cache.result.disk_hits", "counter", None, cache["disk_hits"]),
+        ("cache.result.evictions", "counter", None, cache["evictions"]),
+        ("cache.result.entries", "gauge", None, cache["entries"]),
+        ("cache.result.capacity", "gauge", None, cache["capacity"]),
+        ("serve.uptime_seconds", "gauge", None, stats["uptime_seconds"]),
+        ("serve.workers", "gauge", None, stats["workers"]),
+    ]
+    for state in ("queued", "running", "done", "failed"):
+        extra.append(
+            ("serve.jobs.retained", "gauge", {"state": state},
+             stats["jobs"][state])
+        )
+    return METRICS.render_prometheus(extra=extra)
+
+
 class ServeHandler(BaseHTTPRequestHandler):
     """Request router; the job manager lives on the server object."""
 
@@ -46,10 +80,12 @@ class ServeHandler(BaseHTTPRequestHandler):
         if self.server.verbose:
             super().log_message(format, *args)
 
-    def _send_text(self, status: int, text: str) -> None:
+    def _send_text(
+        self, status: int, text: str, content_type: str = "application/json"
+    ) -> None:
         body = text.encode("utf-8")
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
@@ -89,6 +125,12 @@ class ServeHandler(BaseHTTPRequestHandler):
             self._send_json(200, {"ok": True})
         elif path == "/stats":
             self._send_json(200, manager.stats())
+        elif path == "/metrics":
+            self._send_text(
+                200,
+                render_server_metrics(manager),
+                content_type="text/plain; version=0.0.4; charset=utf-8",
+            )
         elif path == "/jobs":
             self._send_json(
                 200,

@@ -71,7 +71,7 @@ class TestStructuredResults:
 
     def test_schema_and_core_fields(self, result):
         d = result.to_dict()
-        assert d["schema"] == "repro/integration-result/v3"
+        assert d["schema"] == "repro/integration-result/v4"
         assert d["soc"]["name"] == "dsc_controller"
         assert d["schedule"]["total_time"] == result.total_test_time
         assert d["schedule"]["session_count"] == len(d["schedule"]["sessions"])
@@ -97,8 +97,8 @@ class TestStructuredResults:
         )
         d = json.loads(batch.to_json())
         assert d == batch.to_dict()
-        assert d["schema"] == "repro/batch-result/v3"
+        assert d["schema"] == "repro/batch-result/v4"
         assert d["backend"] in {"serial", "thread", "process"}
         assert d["ok"] is False
-        assert d["items"][0]["result"]["schema"] == "repro/integration-result/v3"
+        assert d["items"][0]["result"]["schema"] == "repro/integration-result/v4"
         assert d["items"][1]["result"] is None

@@ -78,7 +78,7 @@ class TestJsonOutput:
     def test_dsc_json_is_schema_v2(self, capsys):
         assert main(["dsc", "--json"]) == 0
         doc = json.loads(capsys.readouterr().out)
-        assert doc["schema"] == "repro/integration-result/v3"
+        assert doc["schema"] == "repro/integration-result/v4"
         assert doc["soc"]["name"] == "dsc_controller"
         assert doc["schedule"]["total_time"] > 0
         assert doc["schedule"]["sessions"]
@@ -136,7 +136,7 @@ class TestJsonOutput:
         target = tmp_path / "dft.v"
         assert main(["dsc", "--json", "--verilog", str(target)]) == 0
         doc = json.loads(capsys.readouterr().out)  # would raise on extra prose
-        assert doc["schema"] == "repro/integration-result/v3"
+        assert doc["schema"] == "repro/integration-result/v4"
         assert "endmodule" in target.read_text()
 
 
@@ -325,7 +325,7 @@ class TestBatchCommand:
     def test_batch_json(self, capsys):
         assert main(["batch", "dsc:24", "dsc:28", "--json"]) == 0
         doc = json.loads(capsys.readouterr().out)
-        assert doc["schema"] == "repro/batch-result/v3"
+        assert doc["schema"] == "repro/batch-result/v4"
         assert doc["ok"] is True
         assert len(doc["items"]) == 2
         assert [i["index"] for i in doc["items"]] == [0, 1]

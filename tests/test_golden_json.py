@@ -2,7 +2,7 @@
 
 The fixtures under ``tests/golden/`` pin the *exact* JSON documents the
 platform emits for the two reference workloads — the DSC case-study
-chip's integration result (schema v3) and the d695 session schedule
+chip's integration result (schema v4) and the d695 session schedule
 (schedule-result v1).  Any schema drift — a renamed key, a changed
 number, a reordered session — fails loudly here instead of silently
 breaking downstream consumers.
@@ -41,7 +41,7 @@ class TestDscIntegrationGolden:
         assert main(["dsc", "--json"]) == 0
         doc = normalize(json.loads(capsys.readouterr().out))
         golden = load("dsc_integration.json")
-        assert doc["schema"] == golden["schema"] == "repro/integration-result/v3"
+        assert doc["schema"] == golden["schema"] == "repro/integration-result/v4"
         # compare section by section for reviewable failure output
         assert set(doc) == set(golden), "top-level key drift"
         for key in sorted(golden):

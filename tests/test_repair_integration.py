@@ -103,7 +103,7 @@ class TestResultSchemaV2:
     def test_repair_section_and_bisr_area_item(self):
         result = Steac(repair_config()).integrate(repair_soc())
         doc = result.to_dict()
-        assert doc["schema"] == "repro/integration-result/v3"
+        assert doc["schema"] == "repro/integration-result/v4"
         repair = doc["repair"]
         assert repair["allocator"] == "greedy"
         assert repair["bisr_gates"] > 0
@@ -113,19 +113,20 @@ class TestResultSchemaV2:
         assert 0.0 <= mc["raw_yield"] <= mc["effective_yield"] <= 1.0
         assert any("BISR" in i["name"] for i in doc["dft_area"]["items"])
 
-    def test_v3_is_superset_of_v1(self):
-        """Back-compat: without repair or verification the document is
-        the v1 shape plus null repair/verification keys — every v1 key
-        unchanged."""
+    def test_v4_is_superset_of_v1(self):
+        """Back-compat: without repair, verification, or tracing the
+        document is the v1 shape plus null repair/verification/trace
+        keys — every v1 key unchanged."""
         plain = Steac(SteacConfig(compare_strategies=False)).integrate(repair_soc())
         doc = plain.to_dict()
         assert doc["repair"] is None
         assert doc["verification"] is None
+        assert doc["trace"] is None
         v1_keys = {
             "schema", "soc", "schedule", "comparison", "bist", "wrappers",
             "tam", "dft_area", "programs", "runtime_seconds", "stage_seconds",
         }
-        assert v1_keys | {"repair", "verification"} == set(doc)
+        assert v1_keys | {"repair", "verification", "trace"} == set(doc)
         assert [i["name"] for i in doc["dft_area"]["items"]] == [
             "Test Controller", "TAM multiplexer",
         ]

@@ -10,6 +10,7 @@ import json
 import subprocess
 import sys
 import threading
+import time
 from pathlib import Path
 
 import pytest
@@ -53,7 +54,7 @@ class TestJobLifecycle:
         assert timing["queued_seconds"] >= 0
         assert timing["run_seconds"] >= 0
         result = server.result(job["id"])
-        assert result["schema"] == "repro/integration-result/v3"
+        assert result["schema"] == "repro/integration-result/v4"
         assert result["soc"]["name"] == "gen_tiny_s11_0"
 
     def test_unknown_job_is_404(self, server):
@@ -172,7 +173,7 @@ class TestOtherJobKinds:
         })["id"])
         assert job["status"] == "done"
         doc = server.result(job["id"])
-        assert doc["schema"] == "repro/batch-result/v3"
+        assert doc["schema"] == "repro/batch-result/v4"
         assert doc["ok"] is True and len(doc["items"]) == 2
 
     def test_unknown_strategy_fails_the_job_not_the_server(self, server):
@@ -250,7 +251,7 @@ class TestServeCli:
             job = client.wait(client.submit(TINY)["id"])
             assert job["status"] == "done"
             assert json.loads(client.result_text(job["id"]))["schema"] == \
-                "repro/integration-result/v3"
+                "repro/integration-result/v4"
             client.shutdown()
             assert proc.wait(timeout=15) == 0
         finally:
@@ -310,7 +311,7 @@ class TestJobEviction:
         started = threading.Event()
         release = threading.Event()
 
-        def blocked(normalized, work, execution):
+        def blocked(normalized, work, execution, progress=None):
             started.set()
             assert release.wait(timeout=30)
             return {"schema": "test/blocked", "ok": True}
@@ -366,3 +367,109 @@ class TestJobEviction:
         finally:
             server.stop()
             thread.join(timeout=10)
+
+
+class TestObservability:
+    """The /metrics exposition, live job progress, and the monotonic
+    timing + torn-snapshot guarantees behind them."""
+
+    def test_metrics_covers_caches_and_scheduler(self, server):
+        server.wait(server.submit(TINY)["id"])
+        text = server.metrics_text()
+        for family in (
+            # all three caches...
+            "repro_cache_scan_time_hits",
+            "repro_cache_evaluator_memo_hits",
+            "repro_cache_result_hits",
+            "repro_cache_result_entries",
+            # ...and the scheduler counters
+            "repro_sched_runs",
+            "repro_sched_moves_evaluated",
+            "repro_sched_moves_pruned",
+            # plus the serve layer's own families
+            "repro_serve_jobs_submitted",
+            "repro_serve_job_run_seconds_bucket",
+            'repro_serve_jobs_retained{state="done"}',
+        ):
+            assert family in text, f"missing metric family: {family}"
+
+    def test_stats_carries_scan_time_cache(self, server):
+        stats = server.stats()
+        cache = stats["scan_time_cache"]
+        assert set(cache) == {
+            "hits", "misses", "evictions", "entries", "capacity",
+        }
+
+    def test_fuzz_job_reports_live_monotone_progress(self, server):
+        job = server.submit({
+            "kind": "fuzz", "profile": "tiny", "seeds": 6,
+            "strategies": ["session"], "backend": "serial",
+        })
+        snapshots = []
+        while True:
+            doc = server.job(job["id"])
+            if doc.get("progress") is not None:
+                snapshots.append(doc["progress"])
+            if doc["status"] in ("done", "failed"):
+                break
+            time.sleep(0.005)
+        assert doc["status"] == "done"
+        final = doc["progress"]
+        assert final["total"] == final["done"] == 6
+        done_values = [snap["done"] for snap in snapshots]
+        assert done_values == sorted(done_values), "progress went backwards"
+        assert all(
+            snap["total"] is None or snap["done"] <= snap["total"]
+            for snap in snapshots
+        )
+
+    def test_integrate_job_has_null_progress(self, server):
+        done = server.wait(server.submit(TINY)["id"])
+        assert done["progress"] is None
+
+    def test_timing_durations_use_monotonic_clock(self):
+        from repro.serve.jobs import Job
+
+        job = Job(id="j-1", normalized={"kind": "integrate"}, execution={})
+        # a wall clock an hour in the future (NTP step mid-job) must not
+        # distort the durations — they derive from the monotonic twins
+        job.submitted_at = time.time() + 3600
+        job.submitted_mono = time.monotonic()
+        job.mark_started()
+        job.mark_finished()
+        timing = job.timing()
+        assert 0 <= timing["queued_seconds"] < 60
+        assert 0 <= timing["run_seconds"] < 60
+        assert timing["submitted_at"] > timing["started_at"]  # wall skew kept
+
+    def test_concurrent_stats_snapshots_are_consistent(self):
+        manager = JobManager(workers=2)
+        stop = threading.Event()
+        problems = []
+
+        def hammer():
+            last_submitted = 0
+            while not stop.is_set():
+                stats = manager.stats()["jobs"]
+                by_state = sum(
+                    stats[state] for state in
+                    ("queued", "running", "done", "failed")
+                )
+                if by_state != stats["retained"]:
+                    problems.append(f"torn: {stats}")
+                if stats["submitted"] < last_submitted:
+                    problems.append("submitted went backwards")
+                last_submitted = stats["submitted"]
+
+        readers = [threading.Thread(target=hammer) for _ in range(3)]
+        for reader in readers:
+            reader.start()
+        try:
+            jobs = [manager.submit(_tiny(seed)) for seed in range(6)]
+            manager.close(drain=True)
+            assert all(job.status == "done" for job in jobs)
+        finally:
+            stop.set()
+            for reader in readers:
+                reader.join(timeout=5)
+        assert not problems, problems[:3]
