@@ -17,6 +17,9 @@ this is the command shell for the whole reproduction:
 * ``python -m repro generate``       — emit a synthetic SOC (``.soc`` or JSON)
 * ``python -m repro fuzz``           — differentially test every scheduler
   over a generated corpus, checking the :mod:`repro.verify` invariants
+* ``python -m repro campaign``       — resumable checkpointed fuzz soaks
+  (``run`` / ``resume`` / ``status`` / ``replay``); survives Ctrl-C and
+  ``kill -9``, dedupes findings, shrinks failures to minimal repro chips
 * ``python -m repro serve``          — HTTP job queue with a result cache
 * ``python -m repro metrics``        — scrape a running server's /metrics
 
@@ -387,14 +390,15 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         table.add_row(row)
     print(table.render())
     verdict = "clean" if ok else f"{violation_count} violations"
+    if report["warning_count"]:
+        verdict += f" ({report['warning_count']} warnings)"
     print(f"\n{len(scenario_docs)} SOCs x {len(strategies)} strategies: {verdict}")
     if not ok:
         for doc in scenario_docs:
             for strategy, cell in doc["strategies"].items():
-                for violation in cell.get("violations", []):
-                    if violation["severity"] == "error":
-                        print(f"  {doc['soc']} [{strategy}] {violation['rule']}"
-                              f"({violation['subject']}): {violation['message']}")
+                for violation in cell.get("errors", []):
+                    print(f"  {doc['soc']} [{strategy}] {violation['rule']}"
+                          f"({violation['subject']}): {violation['message']}")
                 if "infeasible" in cell:
                     print(f"  {doc['soc']} [{strategy}] infeasible: {cell['infeasible']}")
                 if "crashed" in cell:
@@ -404,6 +408,111 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         print(f"reproduce a chip with: python -m repro generate "
               f"--profile {args.profile} --seed <seed>")
     return 0 if ok else 1
+
+
+def _render_campaign_report(report: dict) -> str:
+    """Human-readable campaign summary (the non-``--json`` output of
+    ``repro campaign run/resume``)."""
+    from repro.util import Table
+
+    lines = [
+        f"campaign: {report['seeds']} x {report['profile']!r} seeds "
+        f"{report['seed_base']}..{report['seed_base'] + report['seeds'] - 1}, "
+        f"{report['backend']} backend ({report['workers']} workers), "
+        f"chunks of {report['chunk_size']}",
+        f"scenarios: {report['scenarios']}  violations: "
+        f"{report['violation_count']}  warnings: {report['warning_count']}  "
+        f"findings: {len(report['findings'])} "
+        f"(+{report['duplicates']} duplicates)  "
+        f"resumes: {report['runtime']['resumes']}  "
+        f"elapsed: {report['runtime']['elapsed_seconds']:.2f} s",
+    ]
+    if report["findings"]:
+        table = Table(
+            ["#", "Strategy", "Rule", "Seed", "Minimized", "Repro"],
+            title="deduplicated findings (rule, strategy, minimized-chip digest)",
+        )
+        for finding in report["findings"]:
+            shape = finding["minimized"]
+            table.add_row([
+                finding["index"],
+                finding["strategy"],
+                finding["rule"],
+                finding["seed"],
+                f"{shape['cores']}c/{shape['memories']}m @{shape['test_pins']}p",
+                finding["file"],
+            ])
+        lines.append(table.render())
+    verdict = "clean" if report["ok"] else f"{report['violation_count']} violations"
+    lines.append(f"verdict: {verdict}")
+    return "\n".join(lines)
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    """Resumable checkpointed fuzz soaks (:mod:`repro.gen.campaign`):
+    ``run`` starts a fresh campaign directory, ``resume`` continues an
+    interrupted one (after Ctrl-C, ``kill -9``, or ``--max-chunks``),
+    ``status`` snapshots progress, ``replay`` re-runs one emitted
+    ``.soc`` repro file and checks the violation still fires."""
+    from repro.gen.campaign import (
+        Campaign,
+        CampaignInterrupted,
+        campaign_status,
+        replay_repro,
+        resume_campaign,
+        run_campaign,
+    )
+
+    if args.action == "status":
+        doc = campaign_status(args.dir)
+        if args.json:
+            print(json.dumps(doc, indent=2, sort_keys=True))
+        else:
+            state = "complete" if doc["complete"] else "in progress"
+            print(f"campaign {args.dir}: {state}, {doc['done']}/{doc['total']} "
+                  f"scenarios, {doc['violation_count']} violations, "
+                  f"{doc['findings']} findings (+{doc['duplicates']} duplicates), "
+                  f"{doc['resumes']} resumes")
+        return 0
+    if args.action == "replay":
+        doc = replay_repro(args.dir)
+        if args.json:
+            print(json.dumps(doc, indent=2, sort_keys=True))
+        else:
+            sig = doc["signature"]
+            verdict = "fires" if doc["fires"] else "DOES NOT FIRE"
+            print(f"{doc['file']}: {sig['strategy']}/{sig['kind']}"
+                  f"{':' + sig['rule'] if sig['rule'] else ''} {verdict} "
+                  f"on {doc['soc']} ({doc['digest'][:12]})")
+        return 0 if doc["fires"] else 1
+    try:
+        if args.action == "resume":
+            report = resume_campaign(args.dir, max_chunks=args.max_chunks)
+        else:
+            report = run_campaign(
+                args.dir,
+                profile=args.profile,
+                seeds=args.seeds,
+                seed_base=args.seed_base,
+                strategies=args.strategies,
+                ilp_max_tasks=args.ilp_max_tasks,
+                chunk_size=args.chunk_size,
+                workers=args.workers,
+                backend=args.backend,
+                max_chunks=args.max_chunks,
+            )
+    except CampaignInterrupted as exc:
+        status = Campaign.open(args.dir).status()
+        print(f"{exc} ({status['done']}/{status['total']} scenarios done)",
+              file=sys.stderr)
+        return 3
+    except (FileExistsError, FileNotFoundError, ValueError) as exc:
+        raise SystemExit(str(exc))
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(_render_campaign_report(report))
+    return 0 if report["ok"] else 1
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -592,6 +701,69 @@ def main(argv: list[str] | None = None) -> int:
                         help="record repro.obs spans and write them as JSONL")
     p_fuzz.set_defaults(func=_cmd_fuzz)
 
+    p_campaign = sub.add_parser(
+        "campaign",
+        help="resumable checkpointed fuzz soaks (run / resume / status / replay)",
+    )
+    campaign_sub = p_campaign.add_subparsers(dest="action", required=True)
+
+    pc_run = campaign_sub.add_parser(
+        "run", help="start a fresh campaign in DIR (checkpointed per chunk)"
+    )
+    pc_run.add_argument("dir", help="campaign directory (created; must not "
+                                    "already hold a campaign)")
+    pc_run.add_argument("--seeds", type=int, default=1000,
+                        help="number of generated chips (one seed each)")
+    pc_run.add_argument("--seed-base", type=int, default=0,
+                        help="first seed of the corpus")
+    pc_run.add_argument("--profile", choices=profiles, default="tiny",
+                        help="generator profile for the corpus")
+    pc_run.add_argument("--strategies", nargs="*", choices=strategies,
+                        default=None, metavar="STRATEGY",
+                        help="strategies to race (default: every registered one)")
+    pc_run.add_argument("--ilp-max-tasks", type=int, default=6,
+                        help="skip the exact MILP above this task count")
+    pc_run.add_argument("--chunk-size", type=int, default=200,
+                        help="scenarios per checkpoint barrier")
+    pc_run.add_argument("--workers", type=int, default=None,
+                        help="worker count for each chunk (default: 1)")
+    pc_run.add_argument("--backend", choices=_backend_choices(), default="auto",
+                        help="executor backend for chunk dispatch")
+    pc_run.add_argument("--max-chunks", type=int, default=None,
+                        help="pause (exit 3) after this many chunks — a "
+                             "deterministic interrupt for smoke tests")
+    pc_run.add_argument("--json", action="store_true",
+                        help="emit the machine-readable campaign report")
+    pc_run.set_defaults(func=_cmd_campaign, action="run")
+
+    pc_resume = campaign_sub.add_parser(
+        "resume", help="continue an interrupted campaign from its checkpoint"
+    )
+    pc_resume.add_argument("dir", help="existing campaign directory")
+    pc_resume.add_argument("--max-chunks", type=int, default=None,
+                           help="pause again (exit 3) after this many chunks")
+    pc_resume.add_argument("--json", action="store_true",
+                           help="emit the machine-readable campaign report")
+    pc_resume.set_defaults(func=_cmd_campaign, action="resume")
+
+    pc_status = campaign_sub.add_parser(
+        "status", help="snapshot a campaign's checkpointed progress"
+    )
+    pc_status.add_argument("dir", help="existing campaign directory")
+    pc_status.add_argument("--json", action="store_true",
+                           help="emit the machine-readable status document")
+    pc_status.set_defaults(func=_cmd_campaign, action="status")
+
+    pc_replay = campaign_sub.add_parser(
+        "replay", help="re-run one findings/*.soc repro file standalone "
+                       "(exit 1 if the violation no longer fires)"
+    )
+    pc_replay.add_argument("dir", metavar="FILE", help="repro .soc file "
+                           "emitted by a campaign")
+    pc_replay.add_argument("--json", action="store_true",
+                           help="emit the machine-readable replay document")
+    pc_replay.set_defaults(func=_cmd_campaign, action="replay")
+
     p_serve = sub.add_parser(
         "serve", help="run the HTTP job-queue service with a result cache"
     )
@@ -624,8 +796,18 @@ def main(argv: list[str] | None = None) -> int:
     p_metrics.set_defaults(func=_cmd_metrics)
 
     args = parser.parse_args(argv)
-    with _maybe_trace(args):
-        return args.func(args)
+    try:
+        with _maybe_trace(args):
+            return args.func(args)
+    except KeyboardInterrupt:
+        # Ctrl-C is a normal way to stop a long sweep or campaign: no
+        # traceback, the conventional 128+SIGINT code.  Pool-backed
+        # commands cancel queued work on the way up (see
+        # repro.core.batch), and a campaign's checkpoint already covers
+        # everything before the in-flight chunk — `repro campaign
+        # resume DIR` continues it.
+        print("interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":

@@ -57,6 +57,7 @@ warms its own copy from the chips it happens to draw.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import threading
@@ -389,18 +390,102 @@ def map_backend(
     hook live job progress (:class:`repro.obs.JobProgress`) hangs off.
     """
     if backend == "process":
-        with ProcessPoolExecutor(
-            max_workers=workers, initializer=initializer, initargs=initargs
+        with _reap_on_interrupt(
+            ProcessPoolExecutor(
+                max_workers=workers, initializer=initializer, initargs=initargs
+            )
         ) as pool:
             return _drain(pool.map(fn, *iterables, chunksize=chunksize), progress)
     if backend == "thread":
-        with ThreadPoolExecutor(max_workers=workers) as pool:
+        with _reap_on_interrupt(ThreadPoolExecutor(max_workers=workers)) as pool:
             return _drain(pool.map(fn, *iterables), progress)
     if backend != "serial":
         raise ValueError(
             f"unresolved batch backend {backend!r}; run resolve_backend() first"
         )
     return _drain((fn(*args) for args in zip(*iterables)), progress)
+
+
+@contextlib.contextmanager
+def _reap_on_interrupt(pool):
+    """Run ``pool`` as a context manager that stays responsive to Ctrl-C.
+
+    A bare ``with executor:`` block calls ``shutdown(wait=True)`` on the
+    way out, so a ``KeyboardInterrupt`` raised while draining results
+    *blocks* until every already-queued work item finishes — on the
+    process backend that can be minutes of orphan-looking workers after
+    the user asked to stop.  Here an interrupt (or any error) cancels
+    the queued-but-unstarted futures first, so the pool joins after at
+    most the in-flight items."""
+    try:
+        yield pool
+    except BaseException:
+        pool.shutdown(wait=False, cancel_futures=True)
+        raise
+    finally:
+        pool.shutdown(wait=True)
+
+
+class ChunkRunner:
+    """A persistent executor for chunked dispatch with barrier semantics.
+
+    Long campaigns (:mod:`repro.gen.campaign`) process work in chunks
+    and checkpoint at every chunk boundary; recreating a process pool
+    per chunk would throw away warm workers (and their scan-time-table
+    caches) hundreds of times per campaign.  A ``ChunkRunner`` owns one
+    executor for its whole lifetime and exposes :meth:`map`, which is a
+    **barrier**: it returns only when every item of the chunk is done,
+    in input order — the caller can checkpoint the instant it returns
+    and lose at most the next in-flight chunk to a crash.
+
+    Use as a context manager; on an exception (including
+    ``KeyboardInterrupt``) queued work is cancelled so pool workers are
+    reaped promptly instead of draining the backlog.
+    """
+
+    def __init__(
+        self,
+        backend: str,
+        workers: int = 1,
+        initializer: Optional[Callable] = None,
+        initargs: tuple = (),
+    ):
+        if backend not in ("serial", "thread", "process"):
+            raise ValueError(
+                f"unresolved chunk backend {backend!r}; run resolve_backend() first"
+            )
+        self.backend = backend
+        self.workers = max(1, workers)
+        self._pool = None
+        if backend == "process":
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers, initializer=initializer, initargs=initargs
+            )
+        elif backend == "thread":
+            self._pool = ThreadPoolExecutor(max_workers=self.workers)
+
+    def map(
+        self, fn: Callable, iterables: Sequence[Iterable], progress=None
+    ) -> list:
+        """Order-preserving ``map(fn, *iterables)`` over one chunk —
+        blocks until the whole chunk is collected (the checkpoint
+        barrier).  ``progress`` is called with each result as it lands,
+        exactly like :func:`map_backend`."""
+        if self._pool is None:
+            return _drain((fn(*args) for args in zip(*iterables)), progress)
+        return _drain(self._pool.map(fn, *iterables), progress)
+
+    def shutdown(self, cancel: bool = False) -> None:
+        """Join the pool (``cancel=True`` drops queued-but-unstarted
+        work first — the interrupt path)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=not cancel, cancel_futures=cancel)
+
+    def __enter__(self) -> "ChunkRunner":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown(cancel=exc_type is not None)
 
 
 def integrate_many(

@@ -5,9 +5,23 @@ instances, an ITC'02 ``.soc`` writer that round-trips through the
 existing parser, and a corpus API yielding reproducible scenario
 streams — the substrate the differential fuzz harness
 (``python -m repro fuzz``), the property-based tests, and the scaling
-benchmarks all draw from.
+benchmarks all draw from.  On top of the one-shot sweep,
+:mod:`repro.gen.campaign` runs resumable, checkpointed soaks
+(``python -m repro campaign``) with violation dedupe and greedy failure
+shrinking (:mod:`repro.gen.shrink`).
 """
 
+from repro.gen.campaign import (
+    CAMPAIGN_REPORT_SCHEMA,
+    Campaign,
+    CampaignConfig,
+    CampaignInterrupted,
+    campaign_status,
+    load_repro,
+    replay_repro,
+    resume_campaign,
+    run_campaign,
+)
 from repro.gen.corpus import (
     DEFAULT_PROFILES,
     Scenario,
@@ -23,6 +37,12 @@ from repro.gen.profiles import (
     get_profile,
     register_profile,
 )
+from repro.gen.shrink import (
+    ViolationSignature,
+    apply_ops,
+    shrink_scenario,
+    shrink_soc,
+)
 from repro.gen.writer import (
     core_to_module,
     roundtrip_errors,
@@ -32,24 +52,37 @@ from repro.gen.writer import (
 )
 
 __all__ = [
+    "CAMPAIGN_REPORT_SCHEMA",
+    "Campaign",
+    "CampaignConfig",
+    "CampaignInterrupted",
     "DEFAULT_PROFILES",
     "FUZZ_SCHEMA",
     "GenProfile",
+    "ViolationSignature",
     "Scenario",
     "ScenarioSpec",
     "SocGenerator",
+    "apply_ops",
     "available_profiles",
+    "campaign_status",
     "chip_name",
     "core_to_module",
     "fuzz_scenario",
     "generate_soc",
     "get_profile",
+    "load_repro",
     "register_profile",
+    "replay_repro",
+    "resume_campaign",
     "roundtrip_errors",
     "roundtrips",
+    "run_campaign",
     "run_fuzz",
     "scenario_specs",
     "scenarios",
+    "shrink_scenario",
+    "shrink_soc",
     "soc_to_modules",
     "soc_to_text",
 ]

@@ -4,7 +4,7 @@ round-tripped through the ``.soc`` writer/parser.
 
 This is the engine behind ``python -m repro fuzz`` *and* the serving
 layer's ``fuzz`` job kind — both produce the same
-``repro/fuzz-report/v1`` document, so a campaign submitted over HTTP is
+``repro/fuzz-report/v2`` document, so a sweep submitted over HTTP is
 byte-comparable with one run from the shell.  :func:`fuzz_scenario` is
 module-level and fed only ``(profile, seed)`` coordinates, never live
 models, so the process backend can pickle the work out to workers.
@@ -15,7 +15,14 @@ from __future__ import annotations
 import itertools
 from typing import Optional, Sequence
 
-FUZZ_SCHEMA = "repro/fuzz-report/v1"
+#: v2: strategy cells split ``violations`` into per-severity ``errors``
+#: / ``warnings`` lists (v1 listed both under one key while only errors
+#: counted toward the verdict, so a warnings-only scenario reported
+#: ``ok: true`` beside a non-empty ``violations`` list), and the
+#: top-level report records its execution coordinates (resolved
+#: ``backend``, ``workers``, ``ilp_max_tasks``) so a saved report can be
+#: reproduced exactly.
+FUZZ_SCHEMA = "repro/fuzz-report/v2"
 
 
 def fuzz_scenario(
@@ -75,13 +82,24 @@ def fuzz_scenario(
             continue
         report = verify_schedule(soc, result, tasks=ctx.tasks)
         violation_count += len(report.errors)
+        # errors and warnings ride in separate lists: only errors count
+        # toward the verdict, and consumers must never have to re-filter
+        # a mixed list to learn why "ok" said what it said
         doc["strategies"][strategy] = {
             "total_time": result.total_time,
             "sessions": result.session_count,
             "ok": report.ok,
-            "violations": [v.to_dict() for v in report.violations],
+            "errors": [v.to_dict() for v in report.errors],
+            "warnings": [v.to_dict() for v in report.warnings],
         }
     return doc, violation_count
+
+
+def scenario_warning_count(doc: dict) -> int:
+    """Warning-severity violations recorded in one scenario document."""
+    return sum(
+        len(cell.get("warnings", ())) for cell in doc.get("strategies", {}).values()
+    )
 
 
 def run_fuzz(
@@ -95,7 +113,7 @@ def run_fuzz(
     progress=None,
 ) -> dict:
     """Run a differential fuzz sweep, returning the
-    ``repro/fuzz-report/v1`` document (``doc["ok"]`` is the verdict;
+    ``repro/fuzz-report/v2`` document (``doc["ok"]`` is the verdict;
     the CLI and the serving layer both wrap this call).
 
     ``workers=None`` keeps an explicitly parallel backend honest (one
@@ -149,7 +167,14 @@ def run_fuzz(
         "seed_base": seed_base,
         "seeds": seeds,
         "strategies": strategy_list,
+        # the execution coordinates a reproduction needs: the resolved
+        # backend (like batch-result v3 records it), the worker count,
+        # and the MILP gate that decided which scenarios skipped "ilp"
+        "backend": resolved,
+        "workers": worker_count,
+        "ilp_max_tasks": ilp_max_tasks,
         "ok": violation_count == 0,
         "violation_count": violation_count,
+        "warning_count": sum(scenario_warning_count(doc) for doc, _ in outcomes),
         "scenarios": [doc for doc, _ in outcomes],
     }

@@ -44,6 +44,14 @@ class JobProgress:
             self._violations += violations
             self._failed += failed
 
+    def resume(self, done: int, violations: int = 0, failed: int = 0) -> None:
+        """Credit work completed by a *previous* process — the campaign
+        resume path (:mod:`repro.gen.campaign`): ``total`` stays the
+        whole campaign's scenario count while ``done`` (and the violation
+        / failure tallies) continue from the checkpoint instead of
+        restarting at zero, so totals grow monotonically across resumes."""
+        self.advance(done, violations=violations, failed=failed)
+
     @property
     def done(self) -> int:
         with self._lock:

@@ -16,6 +16,17 @@ the :class:`ResultCache` (in-memory LRU, optional on-disk store) with
 Everything is stdlib (``http.server``, ``json``, ``urllib``): the
 service adds no dependencies over the library it wraps.  Start one with
 ``python -m repro serve`` or in-process via :func:`create_server`.
+
+Fuzz *campaigns* (:mod:`repro.gen.campaign`) are deliberately **not** a
+job kind.  Every served job is a cacheable request/response pair — a
+pure function of its normalized payload, safe to content-address and
+replay from the :class:`ResultCache`.  A campaign is the opposite shape:
+a long-lived, stateful directory on disk (checkpoint, append-only
+scenario log, finding repros) whose whole point is surviving interrupts
+and resuming *in place*.  Caching one would be wrong and proxying one
+would just forward filesystem mutations.  Campaigns stay CLI-only
+(``python -m repro campaign run/resume/status``); a served client that
+wants soak coverage submits ``fuzz`` jobs in seed-range slices instead.
 """
 
 from repro.serve.cache import ResultCache

@@ -217,26 +217,38 @@ class TestFuzzCommand:
         assert main(["fuzz", "--seeds", "2", "--profile", "tiny",
                      "--strategies", "session", "serial", "--json"]) == 0
         doc = json.loads(capsys.readouterr().out)
-        assert doc["schema"] == "repro/fuzz-report/v1"
+        assert doc["schema"] == "repro/fuzz-report/v2"
         assert doc["ok"] is True and doc["violation_count"] == 0
+        assert doc["warning_count"] == 0
+        # v2 records the resolved execution coordinates
+        assert doc["backend"] == "serial" and doc["workers"] == 1
+        assert doc["ilp_max_tasks"] == 6
         assert doc["seeds"] == 2 and len(doc["scenarios"]) == 2
         scenario = doc["scenarios"][0]
         assert scenario["roundtrip_ok"] is True
         assert scenario["lower_bound"] > 0
         for cell in scenario["strategies"].values():
             assert cell["ok"] is True
+            assert cell["errors"] == [] and cell["warnings"] == []
             assert cell["total_time"] >= scenario["lower_bound"]
 
     def test_parallel_backends_match_serial(self, capsys):
         """`fuzz --backend process/thread` must emit exactly the serial
-        report: the sweep only ships (profile, seed) coordinates."""
+        report: the sweep only ships (profile, seed) coordinates.  Since
+        v2 the report records its own resolved backend/workers, so those
+        two keys (and only those) legitimately differ."""
         base = ["fuzz", "--seeds", "3", "--profile", "tiny",
                 "--strategies", "session", "serial", "--json"]
         assert main(base) == 0
         serial_doc = json.loads(capsys.readouterr().out)
         for backend in ("thread", "process"):
             assert main(base + ["--backend", backend, "--workers", "2"]) == 0
-            assert json.loads(capsys.readouterr().out) == serial_doc
+            doc = json.loads(capsys.readouterr().out)
+            assert doc.pop("backend") == backend and doc.pop("workers") == 2
+            expected = dict(serial_doc)
+            assert expected.pop("backend") == "serial"
+            assert expected.pop("workers") == 1
+            assert doc == expected
 
     def test_ilp_gated_by_task_count(self, capsys):
         assert main(["fuzz", "--seeds", "2", "--profile", "small",

@@ -151,7 +151,7 @@ class TestOtherJobKinds:
         })["id"])
         assert job["status"] == "done"
         doc = server.result(job["id"])
-        assert doc["schema"] == "repro/fuzz-report/v1"
+        assert doc["schema"] == "repro/fuzz-report/v2"
         assert doc["ok"] is True and len(doc["scenarios"]) == 2
 
     def test_repair_job(self, server):
