@@ -463,29 +463,29 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         run_campaign,
     )
 
-    if args.action == "status":
-        doc = campaign_status(args.dir)
-        if args.json:
-            print(json.dumps(doc, indent=2, sort_keys=True))
-        else:
-            state = "complete" if doc["complete"] else "in progress"
-            print(f"campaign {args.dir}: {state}, {doc['done']}/{doc['total']} "
-                  f"scenarios, {doc['violation_count']} violations, "
-                  f"{doc['findings']} findings (+{doc['duplicates']} duplicates), "
-                  f"{doc['resumes']} resumes")
-        return 0
-    if args.action == "replay":
-        doc = replay_repro(args.dir)
-        if args.json:
-            print(json.dumps(doc, indent=2, sort_keys=True))
-        else:
-            sig = doc["signature"]
-            verdict = "fires" if doc["fires"] else "DOES NOT FIRE"
-            print(f"{doc['file']}: {sig['strategy']}/{sig['kind']}"
-                  f"{':' + sig['rule'] if sig['rule'] else ''} {verdict} "
-                  f"on {doc['soc']} ({doc['digest'][:12]})")
-        return 0 if doc["fires"] else 1
     try:
+        if args.action == "status":
+            doc = campaign_status(args.dir)
+            if args.json:
+                print(json.dumps(doc, indent=2, sort_keys=True))
+            else:
+                state = "complete" if doc["complete"] else "in progress"
+                print(f"campaign {args.dir}: {state}, {doc['done']}/{doc['total']} "
+                      f"scenarios, {doc['violation_count']} violations, "
+                      f"{doc['findings']} findings (+{doc['duplicates']} "
+                      f"duplicates), {doc['resumes']} resumes")
+            return 0
+        if args.action == "replay":
+            doc = replay_repro(args.dir)
+            if args.json:
+                print(json.dumps(doc, indent=2, sort_keys=True))
+            else:
+                sig = doc["signature"]
+                verdict = "fires" if doc["fires"] else "DOES NOT FIRE"
+                print(f"{doc['file']}: {sig['strategy']}/{sig['kind']}"
+                      f"{':' + sig['rule'] if sig['rule'] else ''} {verdict} "
+                      f"on {doc['soc']} ({doc['digest'][:12]})")
+            return 0 if doc["fires"] else 1
         if args.action == "resume":
             report = resume_campaign(args.dir, max_chunks=args.max_chunks)
         else:

@@ -11,10 +11,14 @@ pick up where it stopped.  A :class:`Campaign` owns a directory:
 ``checkpoint.json``
     All mutable progress, written **atomically** (temp file + fsync +
     ``os.replace``) at every chunk barrier: the seed cursor,
-    per-strategy stats, dedupe keys already seen, findings, and
-    accumulated runtime.  The checkpoint is RNG-free — every scenario is
+    per-strategy stats, dedupe keys already seen, findings, accumulated
+    runtime, and a digest of the resolved definition (resume refuses a
+    mismatch).  The checkpoint is RNG-free — every scenario is
     regenerated from its ``(profile, seed)`` coordinates — so a resumed
-    campaign is deterministic.
+    campaign is deterministic.  An in-flight chunk accumulates its
+    effects in a *staged copy* of this state and folds them in only at
+    the barrier, so the in-memory checkpoint state is persistable at
+    any instant.
 ``scenarios.jsonl``
     Append-only per-scenario log (the fuzz scenario documents, one per
     line, flushed per chunk).  On resume, lines past the checkpoint
@@ -53,6 +57,8 @@ document (see :mod:`repro.serve`).  Campaigns are CLI-first:
 
 from __future__ import annotations
 
+import copy
+import hashlib
 import itertools
 import json
 import os
@@ -146,10 +152,20 @@ class CampaignConfig:
         )
 
 
+def _config_digest(doc: dict) -> str:
+    """Digest of a (resolved) campaign definition document — stored in
+    the checkpoint so resume refuses a directory whose ``campaign.json``
+    was edited after creation."""
+    return hashlib.sha256(
+        json.dumps(doc, sort_keys=True).encode()
+    ).hexdigest()
+
+
 @dataclass
 class _Checkpoint:
     """The mutable campaign state one chunk barrier persists."""
 
+    config_digest: str = ""  # digest of the campaign.json this belongs to
     cursor: int = 0  # seeds completed (next seed = seed_base + cursor)
     violation_count: int = 0
     warning_count: int = 0
@@ -163,6 +179,7 @@ class _Checkpoint:
     def to_dict(self) -> dict:
         return {
             "schema": CHECKPOINT_SCHEMA,
+            "config_digest": self.config_digest,
             "cursor": self.cursor,
             "violation_count": self.violation_count,
             "warning_count": self.warning_count,
@@ -177,6 +194,7 @@ class _Checkpoint:
     @classmethod
     def from_dict(cls, doc: dict) -> "_Checkpoint":
         return cls(
+            config_digest=doc["config_digest"],
             cursor=doc["cursor"],
             violation_count=doc["violation_count"],
             warning_count=doc["warning_count"],
@@ -236,12 +254,14 @@ class Campaign:
         campaign.dir.mkdir(parents=True, exist_ok=True)
         campaign.findings_dir.mkdir(exist_ok=True)
         campaign.config = config.resolved()
-        _write_atomic(campaign.config_path, campaign.config.to_dict())
+        config_doc = campaign.config.to_dict()
+        _write_atomic(campaign.config_path, config_doc)
         campaign.state = _Checkpoint(
+            config_digest=_config_digest(config_doc),
             strategy_stats={
                 name: dict.fromkeys(_STAT_KEYS, 0)
                 for name in campaign.config.strategies
-            }
+            },
         )
         campaign._checkpoint()
         campaign.scenarios_path.touch()
@@ -261,7 +281,24 @@ class Campaign:
             raise ValueError(f"unsupported campaign schema {doc.get('schema')!r}")
         campaign.config = CampaignConfig.from_dict(doc)
         with open(campaign.checkpoint_path) as handle:
-            campaign.state = _Checkpoint.from_dict(json.load(handle))
+            checkpoint_doc = json.load(handle)
+        if checkpoint_doc.get("schema") != CHECKPOINT_SCHEMA:
+            raise ValueError(
+                f"unsupported checkpoint schema {checkpoint_doc.get('schema')!r}"
+            )
+        campaign.state = _Checkpoint.from_dict(checkpoint_doc)
+        if campaign.state.config_digest != _config_digest(doc):
+            raise ValueError(
+                f"{campaign.config_path} is not the definition this checkpoint "
+                "was created from — the campaign definition changed; start a "
+                "fresh directory instead of resuming"
+            )
+        if campaign.state.cursor > campaign.config.seeds:
+            raise ValueError(
+                f"checkpoint cursor {campaign.state.cursor} exceeds the "
+                f"campaign's {campaign.config.seeds} seeds — the checkpoint "
+                "was edited or corrupted outside the campaign"
+            )
         return campaign
 
     @property
@@ -352,11 +389,11 @@ class Campaign:
             try:
                 self._chunk_loop(max_chunks, progress)
             except KeyboardInterrupt:
-                # the last barrier's checkpoint already covers every
-                # absorbed scenario; re-persist (cheap, idempotent) so
-                # the guarantee holds even if a future edit moves state
-                # updates off the barrier, then let the interrupt
-                # propagate (the CLI exits 130)
+                # ``self.state`` only ever holds barrier state — the
+                # in-flight chunk accumulates in a staged copy — so
+                # re-persisting here is safe at any instant (and
+                # restores a checkpoint.json removed out-of-band); then
+                # let the interrupt propagate (the CLI exits 130)
                 self._checkpoint()
                 raise
         return self._finish()
@@ -366,7 +403,6 @@ class Campaign:
         from repro.gen.fuzzing import fuzz_scenario
 
         config = self.config
-        state = self.state
         chunks_run = 0
         started = time.perf_counter()
         with ChunkRunner(config.backend, config.workers) as runner, open(
@@ -378,7 +414,7 @@ class Campaign:
                         f"paused after {chunks_run} chunk(s); resume with: "
                         f"repro campaign resume {self.dir}"
                     )
-                first = config.seed_base + state.cursor
+                first = config.seed_base + self.state.cursor
                 seeds = list(
                     range(first, min(first + config.chunk_size,
                                      config.seed_base + config.seeds))
@@ -393,32 +429,45 @@ class Campaign:
                             itertools.repeat(config.ilp_max_tasks),
                         ),
                     )
+                # transactional absorb: the chunk's effects (counters,
+                # dedupe keys, findings) accumulate in a staged copy;
+                # ``self.state`` stays at the last barrier, so an
+                # interrupt landing anywhere in this loop — shrinking
+                # runs here, in this process — never exposes half a
+                # chunk to a checkpoint.  Repro files written along the
+                # way are rewritten identically when the chunk re-runs.
+                staged = copy.deepcopy(self.state)
+                seen = {tuple(key) for key in staged.seen}
                 for seed, (doc, count) in zip(seeds, outcomes):
-                    self._absorb(seed, doc, count, log)
+                    self._absorb(staged, seen, seed, doc, count, log)
                     if progress is not None:
                         progress.advance(violations=count)
                 log.flush()
                 os.fsync(log.fileno())
-                state.cursor += len(seeds)
+                staged.cursor += len(seeds)
                 now = time.perf_counter()
-                state.elapsed_seconds += now - started
+                staged.elapsed_seconds += now - started
                 started = now
                 # the barrier: scenario lines are durable before the
-                # cursor that claims them advances
+                # staged state (whose cursor claims them) becomes
+                # current and is checkpointed
+                self.state = staged
                 self._checkpoint()
                 _CHUNKS.inc()
                 chunks_run += 1
 
-    def _absorb(self, seed: int, doc: dict, violation_count: int, log) -> None:
-        """Fold one finished scenario into campaign state: log line,
-        per-strategy tallies, and dedupe/shrink for every new error
-        signature."""
+    def _absorb(
+        self, state: _Checkpoint, seen: set, seed: int, doc: dict,
+        violation_count: int, log,
+    ) -> None:
+        """Fold one finished scenario into the chunk's staged state:
+        log line, per-strategy tallies, and dedupe/shrink for every new
+        error signature."""
         from repro.gen.fuzzing import scenario_warning_count
         from repro.gen.shrink import scenario_signatures
 
         log.write(json.dumps(doc, sort_keys=True) + "\n")
         _SCENARIOS.inc()
-        state = self.state
         state.violation_count += violation_count
         state.warning_count += scenario_warning_count(doc)
         _VIOLATIONS.inc(violation_count)
@@ -437,16 +486,19 @@ class Campaign:
             else:
                 stats["violated"] += 1
         for sig in scenario_signatures(doc):
-            self._record_finding(seed, doc, sig)
+            self._record_finding(state, seen, seed, doc, sig)
 
-    def _record_finding(self, seed: int, doc: dict, sig) -> None:
+    def _record_finding(
+        self, state: _Checkpoint, seen: set, seed: int, doc: dict, sig
+    ) -> None:
         """Shrink one error signature and dedupe it by
-        ``(rule, strategy, minimized-chip digest)``."""
+        ``(rule, strategy, minimized-chip digest)``.  ``seen`` is the
+        set form of ``state.seen`` for O(1) membership — the list form
+        persists in the checkpoint, the set rides alongside."""
         from repro.gen.generator import SocGenerator
         from repro.gen.shrink import shrink_scenario
 
         config = self.config
-        state = self.state
         soc = SocGenerator(seed, config.profile).generate()
         with span("campaign.shrink", seed=seed, signature=sig.describe()):
             try:
@@ -457,12 +509,13 @@ class Campaign:
                 # unshrunk chip as the repro
                 minimized, ops = soc, []
         digest = minimized.digest()
-        key = [sig.rule or sig.kind, sig.strategy, digest]
-        if key in state.seen:
+        key = (sig.rule or sig.kind, sig.strategy, digest)
+        if key in seen:
             state.duplicates += 1
             _DUPLICATES.inc()
             return
-        state.seen.append(key)
+        seen.add(key)
+        state.seen.append(list(key))
         finding = {
             "index": len(state.findings),
             "signature": sig.to_dict(),

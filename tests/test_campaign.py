@@ -221,6 +221,80 @@ class TestResume:
         assert _strip_runtime(again) == _strip_runtime(first)
         assert again["runtime"]["resumes"] == 0
 
+    def test_interrupt_mid_chunk_keeps_barrier_checkpoint(self, tmp_path,
+                                                          broken_strategy):
+        """A Ctrl-C landing *inside* chunk absorption (shrinking runs in
+        the main process) must not persist partially-absorbed state: the
+        on-disk checkpoint stays at the last barrier, and resume matches
+        a clean run with no double-counting."""
+        strategies = ("serial", broken_strategy)
+        clean = run_campaign(tmp_path / "clean", profile="tiny", seeds=4,
+                             chunk_size=2, strategies=list(strategies),
+                             backend="serial")
+        campaign = Campaign.create(
+            tmp_path / "c",
+            CampaignConfig(profile="tiny", seeds=4, chunk_size=2,
+                           strategies=strategies, backend="serial"),
+        )
+        real_absorb = campaign._absorb
+        absorbed = []
+
+        def absorb_then_interrupt(*args, **kwargs):
+            real_absorb(*args, **kwargs)
+            absorbed.append(None)
+            if len(absorbed) == 3:  # first scenario of the second chunk
+                raise KeyboardInterrupt
+
+        campaign._absorb = absorb_then_interrupt
+        with pytest.raises(KeyboardInterrupt):
+            campaign.run()
+        # the interrupt handler re-checkpoints, but only barrier state:
+        # chunk 2's partially absorbed duplicate must not be on disk
+        checkpoint = json.loads(
+            (tmp_path / "c" / "checkpoint.json").read_text()
+        )
+        assert checkpoint["cursor"] == 2
+        assert checkpoint["duplicates"] == 1
+        resumed = resume_campaign(tmp_path / "c")
+        assert _strip_runtime(resumed) == _strip_runtime(clean)
+        assert resumed["duplicates"] == 3
+
+    def test_resume_refuses_edited_definition(self, tmp_path):
+        with pytest.raises(CampaignInterrupted):
+            run_campaign(tmp_path / "c", profile="tiny", seeds=4,
+                         chunk_size=2, strategies=["serial"],
+                         backend="serial", max_chunks=1)
+        config_path = tmp_path / "c" / "campaign.json"
+        doc = json.loads(config_path.read_text())
+        doc["seeds"] = 400
+        config_path.write_text(json.dumps(doc))
+        with pytest.raises(ValueError, match="definition changed"):
+            resume_campaign(tmp_path / "c")
+
+    def test_resume_refuses_foreign_checkpoint_schema(self, tmp_path):
+        with pytest.raises(CampaignInterrupted):
+            run_campaign(tmp_path / "c", profile="tiny", seeds=4,
+                         chunk_size=2, strategies=["serial"],
+                         backend="serial", max_chunks=1)
+        checkpoint_path = tmp_path / "c" / "checkpoint.json"
+        doc = json.loads(checkpoint_path.read_text())
+        doc["schema"] = "someone/elses/v9"
+        checkpoint_path.write_text(json.dumps(doc))
+        with pytest.raises(ValueError, match="checkpoint schema"):
+            resume_campaign(tmp_path / "c")
+
+    def test_resume_refuses_cursor_beyond_seeds(self, tmp_path):
+        with pytest.raises(CampaignInterrupted):
+            run_campaign(tmp_path / "c", profile="tiny", seeds=4,
+                         chunk_size=2, strategies=["serial"],
+                         backend="serial", max_chunks=1)
+        checkpoint_path = tmp_path / "c" / "checkpoint.json"
+        doc = json.loads(checkpoint_path.read_text())
+        doc["cursor"] = 99
+        checkpoint_path.write_text(json.dumps(doc))
+        with pytest.raises(ValueError, match="exceeds"):
+            resume_campaign(tmp_path / "c")
+
     def test_progress_totals_grow_across_resumes(self, tmp_path):
         """A resumed campaign's JobProgress must credit checkpointed
         work: done/total spans the whole campaign, not one process."""
@@ -442,6 +516,20 @@ class TestCampaignCli:
     def test_resume_missing_dir_rejected(self, tmp_path):
         with pytest.raises(SystemExit):
             main(["campaign", "resume", str(tmp_path / "nothing")])
+
+    def test_status_missing_dir_rejected(self, tmp_path):
+        """Expected errors surface as SystemExit messages, not raw
+        tracebacks — for status like for run/resume."""
+        with pytest.raises(SystemExit):
+            main(["campaign", "status", str(tmp_path / "nothing")])
+
+    def test_replay_non_repro_file_rejected(self, tmp_path):
+        plain = tmp_path / "plain.soc"
+        plain.write_text("SocName nothing\n")
+        with pytest.raises(SystemExit):
+            main(["campaign", "replay", str(plain)])
+        with pytest.raises(SystemExit):
+            main(["campaign", "replay", str(tmp_path / "missing.soc")])
 
     def test_replay_non_firing_repro_exits_one(self, tmp_path, capsys,
                                                broken_strategy):
