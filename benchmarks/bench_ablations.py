@@ -129,5 +129,5 @@ def test_word_background_cost(benchmark):
         table.add_row(list(row))
     print()
     print(table.render())
-    for bits, n_bg, base, word in rows:
+    for _bits, n_bg, base, word in rows:
         assert word == base * n_bg

@@ -507,12 +507,47 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 3
     except (FileExistsError, FileNotFoundError, ValueError) as exc:
-        raise SystemExit(str(exc))
+        raise SystemExit(str(exc)) from None
     if args.json:
         print(json.dumps(report, indent=2, sort_keys=True))
     else:
         print(_render_campaign_report(report))
     return 0 if report["ok"] else 1
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """detlint (:mod:`repro.analysis`): statically machine-check the
+    repo's determinism, picklability, lock-discipline, and schema-
+    version contracts.  Exit 1 on errors, 0 clean."""
+    from repro.analysis import available_rules, get_rule, lint_paths
+    from repro.analysis.report import render_human, render_json
+
+    if args.list_rules:
+        for rule_id in available_rules():
+            rule = get_rule(rule_id)
+            print(f"{rule_id:<8} {rule.severity:<8} {rule.description}")
+        return 0
+    paths = args.paths or ["src"]
+    try:
+        report = lint_paths(
+            paths,
+            root=args.root,
+            rules=args.rules,
+            update_fingerprints=args.update_fingerprints,
+        )
+    except (FileNotFoundError, ValueError) as exc:
+        raise SystemExit(str(exc)) from None
+    text = render_json(report) if args.json else render_human(report)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text + "\n")
+        if not args.json:
+            print(text)
+    else:
+        print(text)
+    if args.update_fingerprints:
+        print("schema fingerprints regenerated", file=sys.stderr)
+    return report.exit_code
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -763,6 +798,30 @@ def main(argv: list[str] | None = None) -> int:
     pc_replay.add_argument("--json", action="store_true",
                            help="emit the machine-readable replay document")
     pc_replay.set_defaults(func=_cmd_campaign, action="replay")
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="detlint: static determinism/concurrency contract checks "
+             "(exit 1 on errors)",
+    )
+    p_lint.add_argument("paths", nargs="*", metavar="PATH",
+                        help="files or directories to lint (default: src)")
+    p_lint.add_argument("--root", default=".",
+                        help="repository root (for the committed schema-"
+                             "fingerprint file)")
+    p_lint.add_argument("--rules", nargs="*", default=None, metavar="RULE",
+                        help="rule ids to run (default: every registered rule)")
+    p_lint.add_argument("--list", dest="list_rules", action="store_true",
+                        help="list registered rules and exit")
+    p_lint.add_argument("--json", action="store_true",
+                        help="emit the machine-readable repro/lint-report/v1 "
+                             "document")
+    p_lint.add_argument("--out", metavar="FILE",
+                        help="also write the report to FILE")
+    p_lint.add_argument("--update-fingerprints", action="store_true",
+                        help="regenerate src/repro/analysis/schema_"
+                             "fingerprints.json from the tree")
+    p_lint.set_defaults(func=_cmd_lint)
 
     p_serve = sub.add_parser(
         "serve", help="run the HTTP job-queue service with a result cache"

@@ -1,0 +1,71 @@
+"""``repro.analysis`` — detlint, the determinism & concurrency linter.
+
+Every guarantee the platform sells — bit-identical incremental-vs-
+reference schedules, cached serve results returned byte-for-byte,
+RNG-free campaign checkpoints that resume to identical reports — is a
+*determinism contract*.  Differential fuzzing catches contract breaks
+dynamically and probabilistically; this package catches them at commit
+time, statically and deterministically, with a stdlib-``ast`` rule
+engine:
+
+* **DET** — no unseeded RNG, no wall-clock reads, no salted-hash
+  seeding, no set-iteration ordering leaks in result-affecting paths
+  (:mod:`repro.analysis.rules.det`);
+* **PKL** — registry entries and everything shipped across the process
+  pool must be statically picklable (:mod:`repro.analysis.rules.pkl`);
+* **CONC** — fields a class protects with a ``threading.Lock`` must
+  only be touched while holding it (:mod:`repro.analysis.rules.conc`);
+* **SCHEMA** — a ``"repro/<name>/v<N>"`` wire schema must bump its
+  version when the shape-producing code changes, enforced against the
+  committed :data:`~repro.analysis.rules.schema.FINGERPRINT_FILE`
+  (:mod:`repro.analysis.rules.schema`).
+
+Which rules apply where is declarative: the path → contract map in
+:mod:`repro.analysis.contracts`.  False positives are silenced inline —
+``# detlint: ignore[RULE] -- reason`` — and the engine errors on
+suppressions that are unused or missing their reason, so the
+suppression inventory can never rot.
+
+Front ends: ``repro lint`` (exit 1 on errors, 0 clean; ``--json`` for
+the machine-readable ``repro/lint-report/v1`` document) and
+:func:`lint_paths` / :func:`lint_source` for tests and tooling.
+"""
+
+from repro.analysis.contracts import (
+    CONTRACT_MAP,
+    DETERMINISM,
+    NO_WALLCLOCK,
+    PICKLE,
+    contracts_for,
+)
+from repro.analysis.engine import FileContext, LintReport, lint_paths, lint_source
+from repro.analysis.findings import Finding
+from repro.analysis.registry import (
+    ProjectRule,
+    Rule,
+    available_rules,
+    get_rule,
+    register_rule,
+)
+from repro.analysis.report import LINT_SCHEMA, render_human, render_json
+
+__all__ = [
+    "CONTRACT_MAP",
+    "DETERMINISM",
+    "NO_WALLCLOCK",
+    "PICKLE",
+    "contracts_for",
+    "FileContext",
+    "LintReport",
+    "lint_paths",
+    "lint_source",
+    "Finding",
+    "ProjectRule",
+    "Rule",
+    "available_rules",
+    "get_rule",
+    "register_rule",
+    "LINT_SCHEMA",
+    "render_human",
+    "render_json",
+]

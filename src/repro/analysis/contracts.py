@@ -1,0 +1,104 @@
+"""The declarative path → contract map: which guarantees bind where.
+
+A *contract* is a named guarantee a module opts into; rules declare
+which contract they enforce and the engine only runs them on files
+whose path carries it.  The map is ordered longest-prefix-first, so a
+specific file entry (``repro/sched/registry.py``) can extend the
+contracts of its package (``repro/sched/``).
+
+Contracts:
+
+``determinism``
+    Result-affecting code: equal inputs must produce bit-identical
+    outputs, across processes and platform restarts.  Bans unseeded
+    RNG, salted ``hash()`` seeding, and set-iteration ordering leaks
+    (the DET family).
+
+``no-wallclock``
+    No ``time.time()`` / ``datetime.now()`` / ``uuid4()``: either the
+    module is result-affecting (a wall-clock read breaks bit-identity)
+    or it serves cached/traced documents whose *durations* must come
+    from the monotonic clock.  Deliberate display-only wall timestamps
+    carry a targeted ``# detlint: ignore[DET002] -- reason``.
+
+``pickle``
+    Everything defined here may be shipped across the process pool
+    (work specs, schedule results, registry entries, span records), so
+    classes must be module-level and attribute defaults lambda-free
+    (the PKL family).
+
+The CONC and SCHEMA families are structural, not path-scoped: any
+class that owns a ``threading.Lock`` promises lock discipline, and any
+module that writes a ``"repro/.../vN"`` schema string promises version
+bumps — wherever they live.
+"""
+
+from __future__ import annotations
+
+DETERMINISM = "determinism"
+NO_WALLCLOCK = "no-wallclock"
+PICKLE = "pickle"
+
+#: All known contract names (documentation + validation).
+ALL_CONTRACTS: frozenset[str] = frozenset({DETERMINISM, NO_WALLCLOCK, PICKLE})
+
+_RESULT_AFFECTING: frozenset[str] = frozenset({DETERMINISM, NO_WALLCLOCK})
+
+#: Ordered (prefix, contracts) pairs; the *union* of every matching
+#: entry applies, so a file entry refines its package entry.  Paths are
+#: POSIX-style, relative to the repository ``src/`` root.
+CONTRACT_MAP: tuple[tuple[str, frozenset[str]], ...] = (
+    # -- result-affecting compute: everything feeding a result document
+    ("repro/atpg/", _RESULT_AFFECTING),
+    ("repro/bist/", _RESULT_AFFECTING),
+    ("repro/controller/", _RESULT_AFFECTING),
+    ("repro/core/", _RESULT_AFFECTING),
+    ("repro/gen/", _RESULT_AFFECTING),
+    ("repro/netlist/", _RESULT_AFFECTING),
+    ("repro/patterns/", _RESULT_AFFECTING),
+    ("repro/repair/", _RESULT_AFFECTING),
+    ("repro/sched/", _RESULT_AFFECTING),
+    ("repro/soc/", _RESULT_AFFECTING),
+    ("repro/stil/", _RESULT_AFFECTING),
+    ("repro/tam/", _RESULT_AFFECTING),
+    ("repro/verify/", _RESULT_AFFECTING),
+    ("repro/wrapper/", _RESULT_AFFECTING),
+    # -- serving/observability: results are cached byte-for-byte and
+    #    durations must be monotonic, so wall-clock reads are banned
+    #    (display-twin fields carry targeted suppressions) — but these
+    #    layers may legitimately read entropy (job ids, sampling)
+    ("repro/serve/", frozenset({NO_WALLCLOCK})),
+    ("repro/obs/", frozenset({NO_WALLCLOCK})),
+    # -- shipped across the process pool / registered in registries
+    ("repro/core/batch.py", frozenset({PICKLE})),
+    ("repro/gen/corpus.py", frozenset({PICKLE})),
+    ("repro/gen/profiles.py", frozenset({PICKLE})),
+    ("repro/repair/allocate.py", frozenset({PICKLE})),
+    ("repro/repair/registry.py", frozenset({PICKLE})),
+    ("repro/sched/registry.py", frozenset({PICKLE})),
+    ("repro/sched/result.py", frozenset({PICKLE})),
+    ("repro/sched/timecalc.py", frozenset({PICKLE})),
+    # repro/util, repro/analysis, repro/__main__ carry no path-scoped
+    # contracts: display/tooling code (CONC/PKL-registration/SCHEMA
+    # still apply structurally).
+)
+
+
+def normalize_relpath(relpath: str) -> str:
+    """A lint path → the ``repro/...``-rooted form the map keys use."""
+    path = relpath.replace("\\", "/").lstrip("./")
+    for marker in ("src/repro/", "repro/"):
+        index = path.find(marker)
+        if index >= 0:
+            return path[index:].removeprefix("src/")
+    return path
+
+
+def contracts_for(relpath: str) -> frozenset[str]:
+    """The union of every contract whose prefix matches ``relpath``."""
+    path = normalize_relpath(relpath)
+    out: set[str] = set()
+    for prefix, contracts in CONTRACT_MAP:
+        if path.startswith(prefix) or path == prefix.rstrip("/"):
+            out |= contracts
+    return frozenset(out)

@@ -1,0 +1,337 @@
+"""The detlint engine: walk files, run rules, honour suppressions.
+
+One :class:`FileContext` per source file carries the parsed AST, a
+parent map (rules navigate upward: enclosing function, class, ``with``
+block), the file's contracts, and its inline suppressions.  The engine
+runs every per-file rule whose contract gate matches, then the
+project-wide rules (cross-file checks), then audits the suppressions
+themselves:
+
+* ``# detlint: ignore[RULE]`` on the offending line silences that rule
+  there — but only with an inline reason (``-- why``); a reasonless
+  suppression is itself an error (``SUP002``).
+* A suppression no finding needed is an unused suppression (``SUP001``)
+  so stale ignores are flushed out as the code they excused improves.
+
+The result is a :class:`LintReport` — findings plus counts — rendered
+by :mod:`repro.analysis.report` as text or JSON.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Optional, Sequence
+
+from repro.analysis.contracts import contracts_for, normalize_relpath
+from repro.analysis.findings import Finding
+from repro.analysis.registry import ProjectRule, Rule, all_rules
+
+#: grammar: "detlint: ignore" + bracketed rule list + optional "-- reason"
+_SUPPRESS_RE = re.compile(
+    r"#\s*detlint:\s*ignore\[(?P<rules>[A-Z0-9_,\s]+)\]"
+    r"(?:\s*--\s*(?P<reason>\S.*?))?\s*$"
+)
+
+SUP_UNUSED = "SUP001"
+SUP_NO_REASON = "SUP002"
+
+
+@dataclass
+class Suppression:
+    """One inline ``# detlint: ignore[...]`` comment."""
+
+    line: int
+    rules: tuple[str, ...]
+    reason: Optional[str]
+    used: bool = False
+
+
+class FileContext:
+    """Everything a rule needs to know about one source file."""
+
+    def __init__(self, relpath: str, source: str, root: Optional[str] = None):
+        self.relpath = normalize_relpath(relpath)
+        self.given_path = relpath
+        self.root = root
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=relpath)
+        self.contracts = contracts_for(self.relpath)
+        self.suppressions = _parse_suppressions(source)
+        self._parents: dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(parent):
+                self._parents[child] = parent
+
+    # -- navigation --------------------------------------------------------
+
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        """The syntactic parent of ``node`` (None for the module)."""
+        return self._parents.get(node)
+
+    def ancestors(self, node: ast.AST) -> Iterable[ast.AST]:
+        """``node``'s parents, innermost first, up to the module."""
+        current = self._parents.get(node)
+        while current is not None:
+            yield current
+            current = self._parents.get(current)
+
+    def enclosing_function(self, node: ast.AST) -> Optional[ast.AST]:
+        """The innermost function/lambda containing ``node``, if any."""
+        for anc in self.ancestors(node):
+            if isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                return anc
+        return None
+
+    def enclosing_class(self, node: ast.AST) -> Optional[ast.ClassDef]:
+        """The innermost class containing ``node``, if any."""
+        for anc in self.ancestors(node):
+            if isinstance(anc, ast.ClassDef):
+                return anc
+        return None
+
+    def qualname(self, node: ast.AST) -> str:
+        """Dotted path of a def/class node: ``Outer.method``."""
+        parts: list[str] = []
+        current: Optional[ast.AST] = node
+        while current is not None and not isinstance(current, ast.Module):
+            name = getattr(current, "name", None)
+            if name is not None:
+                parts.append(str(name))
+            current = self._parents.get(current)
+        return ".".join(reversed(parts))
+
+    def is_docstring(self, node: ast.Constant) -> bool:
+        """Whether ``node`` is a module/class/function docstring."""
+        parent = self._parents.get(node)
+        if not isinstance(parent, ast.Expr):
+            return False
+        grand = self._parents.get(parent)
+        if not isinstance(
+            grand, (ast.Module, ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)
+        ):
+            return False
+        body: list[ast.stmt] = grand.body
+        return bool(body) and body[0] is parent
+
+
+def _parse_suppressions(source: str) -> dict[int, Suppression]:
+    """Suppressions from real COMMENT tokens only — the tokenizer keeps
+    mentions of the syntax inside docstrings/strings from counting."""
+    out: dict[int, Suppression] = {}
+    tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _SUPPRESS_RE.search(token.string)
+        if match is None:
+            continue
+        number = token.start[0]
+        rules = tuple(
+            part.strip() for part in match.group("rules").split(",") if part.strip()
+        )
+        out[number] = Suppression(
+            line=number, rules=rules, reason=match.group("reason")
+        )
+    return out
+
+
+@dataclass
+class LintReport:
+    """The outcome of one lint run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files: int = 0
+    suppressed: int = 0
+    fingerprints_updated: bool = False
+
+    @property
+    def errors(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity == "error"]
+
+    @property
+    def warnings(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity == "warning"]
+
+    @property
+    def ok(self) -> bool:
+        """Clean = no error-severity findings (warnings are advisory)."""
+        return not self.errors
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.ok else 1
+
+
+def iter_python_files(paths: Sequence[str]) -> list[Path]:
+    """Every ``.py`` file under ``paths`` (files pass through), sorted."""
+    out: set[Path] = set()
+    for entry in paths:
+        path = Path(entry)
+        if path.is_file():
+            out.add(path)
+        elif path.is_dir():
+            out.update(
+                p for p in path.rglob("*.py") if "__pycache__" not in p.parts
+            )
+        else:
+            raise FileNotFoundError(f"lint path does not exist: {entry}")
+    return sorted(out)
+
+
+def _selected_rules(rule_ids: Optional[Sequence[str]]) -> list[Rule]:
+    if rule_ids is None:
+        return all_rules()
+    from repro.analysis.registry import get_rule
+
+    return [get_rule(rule_id) for rule_id in rule_ids]
+
+
+def _check_file(ctx: FileContext, rules: Sequence[Rule]) -> list[Finding]:
+    findings: list[Finding] = []
+    for rule in rules:
+        if isinstance(rule, ProjectRule):
+            continue
+        if rule.requires is not None and not (rule.requires & ctx.contracts):
+            continue
+        findings.extend(rule.check(ctx))
+    return findings
+
+
+def _apply_suppressions(
+    ctxs: Sequence[FileContext], findings: Iterable[Finding]
+) -> tuple[list[Finding], int]:
+    """Filter suppressed findings and mark their suppressions used."""
+    by_path = {ctx.relpath: ctx for ctx in ctxs}
+    kept: list[Finding] = []
+    suppressed = 0
+    for finding in findings:
+        ctx = by_path.get(finding.path)
+        suppression = ctx.suppressions.get(finding.line) if ctx else None
+        if suppression is not None and finding.rule in suppression.rules:
+            suppression.used = True
+            suppressed += 1
+            continue
+        kept.append(finding)
+    return kept, suppressed
+
+
+def _audit_suppressions(ctxs: Sequence[FileContext]) -> list[Finding]:
+    """SUP001 for unused suppressions, SUP002 for reasonless ones."""
+    findings: list[Finding] = []
+    for ctx in ctxs:
+        for suppression in ctx.suppressions.values():
+            if suppression.reason is None:
+                findings.append(Finding(
+                    path=ctx.relpath,
+                    line=suppression.line,
+                    rule=SUP_NO_REASON,
+                    severity="error",
+                    message=(
+                        "suppression has no reason — every detlint ignore "
+                        "must explain itself"
+                    ),
+                    hint="write `# detlint: ignore[RULE] -- why this is safe`",
+                ))
+            if not suppression.used:
+                findings.append(Finding(
+                    path=ctx.relpath,
+                    line=suppression.line,
+                    rule=SUP_UNUSED,
+                    severity="error",
+                    message=(
+                        "unused suppression for "
+                        f"{', '.join(suppression.rules)}: no finding fires here"
+                    ),
+                    hint="delete the stale `# detlint: ignore[...]` comment",
+                ))
+    return findings
+
+
+def lint_contexts(
+    ctxs: Sequence[FileContext],
+    root: str = ".",
+    rules: Optional[Sequence[str]] = None,
+    update_fingerprints: bool = False,
+) -> LintReport:
+    """Run the rule set over already-built contexts (the core loop)."""
+    selected = _selected_rules(rules)
+    findings: list[Finding] = []
+    for ctx in ctxs:
+        findings.extend(_check_file(ctx, selected))
+    for rule in selected:
+        if isinstance(rule, ProjectRule):
+            rule.update_fingerprints = update_fingerprints
+            findings.extend(rule.check_project(list(ctxs), root))
+    kept, suppressed = _apply_suppressions(ctxs, findings)
+    kept.extend(_audit_suppressions(ctxs))
+    kept.sort()
+    return LintReport(
+        findings=kept,
+        files=len(ctxs),
+        suppressed=suppressed,
+        fingerprints_updated=update_fingerprints,
+    )
+
+
+def lint_paths(
+    paths: Sequence[str],
+    root: str = ".",
+    rules: Optional[Sequence[str]] = None,
+    update_fingerprints: bool = False,
+) -> LintReport:
+    """Lint every ``.py`` file under ``paths``.
+
+    Args:
+        paths: files and/or directories to walk.
+        root: repository root — cross-file rules resolve committed
+            state (the schema fingerprint file) relative to it.
+        rules: rule ids to run (default: every registered rule).
+        update_fingerprints: rewrite the committed schema-fingerprint
+            file from the tree instead of diffing against it.
+    """
+    files = iter_python_files(paths)
+    ctxs: list[FileContext] = []
+    findings: list[Finding] = []
+    for path in files:
+        source = path.read_text()
+        try:
+            ctxs.append(FileContext(str(path), source, root=root))
+        except SyntaxError as exc:
+            findings.append(Finding(
+                path=normalize_relpath(str(path)),
+                line=exc.lineno or 1,
+                rule="PARSE",
+                severity="error",
+                message=f"file does not parse: {exc.msg}",
+            ))
+    report = lint_contexts(
+        ctxs, root=root, rules=rules, update_fingerprints=update_fingerprints
+    )
+    report.findings = sorted(findings + report.findings)
+    return report
+
+
+def lint_source(
+    source: str,
+    relpath: str = "repro/example.py",
+    rules: Optional[Sequence[str]] = None,
+) -> list[Finding]:
+    """Lint one in-memory source blob (the unit-test front end).
+
+    Runs per-file rules plus suppression auditing; project rules (which
+    need committed state) are exercised directly in their tests.
+    """
+    ctx = FileContext(relpath, source)
+    selected = [
+        rule for rule in _selected_rules(rules) if not isinstance(rule, ProjectRule)
+    ]
+    findings = _check_file(ctx, selected)
+    kept, _ = _apply_suppressions([ctx], findings)
+    kept.extend(_audit_suppressions([ctx]))
+    return sorted(kept)

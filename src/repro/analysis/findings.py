@@ -1,0 +1,51 @@
+"""Structured lint findings: what fired, where, how bad, how to fix.
+
+A :class:`Finding` is one rule hit pinned to a ``path:line``.  Findings
+are frozen (hashable, dedupable) and JSON-native via :meth:`to_dict`,
+so the human and JSON reporters render the same records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+#: Finding severities, worst first.  ``error`` findings fail the build
+#: (``repro lint`` exits 1); ``warning`` findings are advisory.
+SEVERITIES: tuple[str, ...] = ("error", "warning")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    rule: str
+    severity: str
+    message: str
+    hint: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(
+                f"finding severity {self.severity!r} not in {SEVERITIES}"
+            )
+
+    def to_dict(self) -> dict[str, object]:
+        """The JSON-report row for this finding."""
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+    def format(self) -> str:
+        """The one-line human rendering: ``path:line: error[RULE] msg``."""
+        text = f"{self.path}:{self.line}: {self.severity}[{self.rule}] {self.message}"
+        if self.hint:
+            text += f"  (fix: {self.hint})"
+        return text

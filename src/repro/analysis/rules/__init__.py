@@ -1,0 +1,4 @@
+"""Built-in detlint rule families — importing this package registers
+them all (the registry's lazy ``_load_builtin_rules`` hook)."""
+
+from repro.analysis.rules import conc, det, pkl, schema  # noqa: F401

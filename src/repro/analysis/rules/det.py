@@ -1,0 +1,221 @@
+"""DET — determinism rules for result-affecting code.
+
+The platform's core promise is bit-identity: the same chip, budgets,
+and strategy must produce the same schedule, the same JSON document,
+the same campaign report — across runs, processes, and machines.  Four
+statically-checkable ways to break that promise:
+
+* ``DET001`` — unseeded randomness: the module-level ``random.*``
+  functions (one shared, time-seeded global state) or a bare
+  ``random.Random()``.  Every RNG in a result path must be
+  ``random.Random(seed)`` with a caller-supplied seed.
+* ``DET002`` — wall-clock reads (``time.time()``, ``datetime.now()``,
+  ``uuid.uuid1/4()``): values that differ per run leak into results or
+  corrupt durations; use ``time.monotonic()`` / ``perf_counter()`` for
+  timing and keep wall timestamps display-only (suppressed, with a
+  reason).
+* ``DET003`` — iterating a set (literal, ``set()`` call, or set
+  comprehension) without ``sorted()``: set order is salted per process,
+  so anything ordered downstream inherits nondeterminism.
+* ``DET004`` — ``hash()`` / ``.__hash__()`` of compound data: string
+  hashing is salted per process (PYTHONHASHSEED), so seeding an RNG or
+  keying a result on it diverges across process-pool workers.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional
+
+from repro.analysis.contracts import DETERMINISM, NO_WALLCLOCK
+from repro.analysis.engine import FileContext
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, register_rule
+
+#: ``random.<fn>`` module-level functions sharing the global RNG.
+_GLOBAL_RNG_FNS = frozenset({
+    "random", "randint", "randrange", "choice", "choices", "shuffle",
+    "sample", "uniform", "betavariate", "expovariate", "gauss",
+    "normalvariate", "lognormvariate", "triangular", "vonmisesvariate",
+    "paretovariate", "weibullvariate", "getrandbits", "randbytes", "seed",
+})
+
+_WALLCLOCK_CALLS: dict[tuple[str, str], str] = {
+    ("time", "time"): "time.time()",
+    ("time", "time_ns"): "time.time_ns()",
+    ("datetime", "now"): "datetime.now()",
+    ("datetime", "utcnow"): "datetime.utcnow()",
+    ("datetime", "today"): "datetime.today()",
+    ("date", "today"): "date.today()",
+    ("uuid", "uuid1"): "uuid.uuid1()",
+    ("uuid", "uuid4"): "uuid.uuid4()",
+}
+
+
+def _call_target(node: ast.Call) -> Optional[tuple[str, str]]:
+    """``module.attr`` of a call like ``time.time()``, if that shape."""
+    func = node.func
+    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+        return (func.value.id, func.attr)
+    # datetime.datetime.now() — collapse the dotted module prefix
+    if (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Attribute)
+        and isinstance(func.value.value, ast.Name)
+    ):
+        return (func.value.attr, func.attr)
+    return None
+
+
+@register_rule
+class UnseededRandomRule(Rule):
+    id = "DET001"
+    severity = "error"
+    requires = frozenset({DETERMINISM})
+    description = (
+        "no unseeded RNG in result-affecting code: module-level random.* "
+        "or bare random.Random()"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = _call_target(node)
+            if target is not None and target[0] == "random":
+                if target[1] in _GLOBAL_RNG_FNS:
+                    yield self.finding(
+                        ctx, node.lineno,
+                        f"module-level random.{target[1]}() uses the shared "
+                        "time-seeded global RNG",
+                        hint="use random.Random(seed) with a caller-supplied seed",
+                    )
+                    continue
+                if target[1] == "Random" and not node.args:
+                    yield self.finding(
+                        ctx, node.lineno,
+                        "random.Random() without a seed is seeded from the OS",
+                        hint="pass an explicit deterministic seed",
+                    )
+                    continue
+            if (
+                isinstance(node.func, ast.Name)
+                and node.func.id in ("Random", "SystemRandom")
+                and not node.args
+            ):
+                yield self.finding(
+                    ctx, node.lineno,
+                    f"{node.func.id}() without a seed is nondeterministic",
+                    hint="pass an explicit deterministic seed",
+                )
+
+
+@register_rule
+class WallClockRule(Rule):
+    id = "DET002"
+    severity = "error"
+    requires = frozenset({NO_WALLCLOCK})
+    description = (
+        "no wall-clock reads (time.time / datetime.now / uuid4) where "
+        "results or durations must be reproducible"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                target = _call_target(node)
+                name = _WALLCLOCK_CALLS.get(target) if target else None
+                if name is not None:
+                    yield self.finding(
+                        ctx, node.lineno,
+                        f"{name} reads the wall clock",
+                        hint=(
+                            "time with time.monotonic()/perf_counter(); keep "
+                            "wall timestamps display-only behind a suppression"
+                        ),
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.module == "time":
+                for alias in node.names:
+                    if alias.name in ("time", "time_ns"):
+                        yield self.finding(
+                            ctx, node.lineno,
+                            f"`from time import {alias.name}` pulls the wall "
+                            "clock into a no-wallclock module",
+                            hint="import the module and call monotonic clocks",
+                        )
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("set", "frozenset")
+    )
+
+
+@register_rule
+class SetIterationRule(Rule):
+    id = "DET003"
+    severity = "error"
+    requires = frozenset({DETERMINISM})
+    description = (
+        "no iteration over a set feeding ordered output without sorted()"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            iter_expr: Optional[ast.AST] = None
+            if isinstance(node, ast.For):
+                iter_expr = node.iter
+            elif isinstance(node, ast.comprehension):
+                iter_expr = node.iter
+            elif isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+                # list({...}) / tuple({...}) materialize salted order
+                if node.func.id in ("list", "tuple") and node.args:
+                    iter_expr = node.args[0]
+            if iter_expr is not None and _is_set_expr(iter_expr):
+                line = getattr(iter_expr, "lineno", getattr(node, "lineno", 1))
+                yield self.finding(
+                    ctx, line,
+                    "iterating a set in salted (per-process) order",
+                    hint="wrap the set in sorted() before ordered consumption",
+                )
+
+
+@register_rule
+class SaltedHashRule(Rule):
+    id = "DET004"
+    severity = "error"
+    requires = frozenset({DETERMINISM})
+    description = (
+        "no hash()/__hash__ of compound data in result paths — string "
+        "hashing is salted per process"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if isinstance(node.func, ast.Name) and node.func.id == "hash":
+                yield self.finding(
+                    ctx, node.lineno,
+                    "hash() is salted per process for str/bytes inputs",
+                    hint=(
+                        "derive keys/seeds from hashlib or from the values "
+                        "themselves (e.g. repr)"
+                    ),
+                )
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "__hash__"
+            ):
+                yield self.finding(
+                    ctx, node.lineno,
+                    ".__hash__() is salted per process for str/bytes inputs",
+                    hint=(
+                        "derive keys/seeds from hashlib or from the values "
+                        "themselves (e.g. repr)"
+                    ),
+                )

@@ -1,0 +1,143 @@
+"""PKL — static picklability rules.
+
+The process-pool backend (:mod:`repro.core.batch`) ships work specs,
+schedule results, and registry-resolved callables across process
+boundaries; a lambda, closure, or local class anywhere in that cargo
+raises ``PicklingError`` only at runtime, on the one code path CI's
+serial runs never exercise.  Statically:
+
+* ``PKL001`` (everywhere) — registering a ``lambda`` in any
+  ``register_*`` call or decorating a *nested* function into a
+  registry: registry entries must be module-level names so workers
+  can re-import them.
+* ``PKL002`` (pickle-contract files) — a ``lambda`` stored in a class
+  body (attribute default, ``field(default=lambda...)``): instances
+  carrying it never pickle.
+* ``PKL003`` (pickle-contract files) — a class defined inside a
+  function: its instances are unpicklable (pickle resolves classes by
+  qualified module path).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional
+
+from repro.analysis.contracts import PICKLE
+from repro.analysis.engine import FileContext
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, register_rule
+
+
+def _register_call_name(node: ast.Call) -> Optional[str]:
+    """The callee name if this is a ``register_*(...)`` call."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        name = func.id
+    elif isinstance(func, ast.Attribute):
+        name = func.attr
+    elif isinstance(func, ast.Call):
+        # decorator factories: register_scheduler("x")(fn)
+        return _register_call_name(func)
+    else:
+        return None
+    return name if name.startswith("register") else None
+
+
+@register_rule
+class LambdaRegistrationRule(Rule):
+    id = "PKL001"
+    severity = "error"
+    requires = None  # registries can be populated from anywhere
+    description = (
+        "no lambdas or nested functions registered in a registry — "
+        "workers must re-import entries by qualified name"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                name = _register_call_name(node)
+                if name is None:
+                    continue
+                for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                    if isinstance(arg, ast.Lambda):
+                        yield self.finding(
+                            ctx, arg.lineno,
+                            f"{name}(...) registers a lambda — unpicklable "
+                            "across the process pool",
+                            hint="register a module-level function instead",
+                        )
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if ctx.enclosing_function(node) is None:
+                    continue
+                for decorator in node.decorator_list:
+                    dec_call = (
+                        decorator if isinstance(decorator, ast.Call) else None
+                    )
+                    dec_name: Optional[str] = None
+                    if dec_call is not None:
+                        dec_name = _register_call_name(dec_call)
+                    elif isinstance(decorator, ast.Name) and decorator.id.startswith(
+                        "register"
+                    ):
+                        dec_name = decorator.id
+                    if dec_name is not None:
+                        yield self.finding(
+                            ctx, node.lineno,
+                            f"@{dec_name} on nested function "
+                            f"{node.name!r} — a closure cannot be re-imported "
+                            "by a pool worker",
+                            hint="move the registered function to module level",
+                        )
+
+
+@register_rule
+class ClassBodyLambdaRule(Rule):
+    id = "PKL002"
+    severity = "error"
+    requires = frozenset({PICKLE})
+    description = (
+        "no lambda stored in a picklable class body (attribute or "
+        "dataclass field default)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Lambda):
+                continue
+            cls = ctx.enclosing_class(node)
+            if cls is None:
+                continue
+            # only class-body statements (defaults), not method bodies
+            if ctx.enclosing_function(node) is not None:
+                continue
+            yield self.finding(
+                ctx, node.lineno,
+                f"lambda in the body of class {cls.name!r} rides every "
+                "pickled instance and cannot serialize",
+                hint="use a module-level function or default_factory helper",
+            )
+
+
+@register_rule
+class LocalClassRule(Rule):
+    id = "PKL003"
+    severity = "error"
+    requires = frozenset({PICKLE})
+    description = (
+        "no class defined inside a function in pickle-contract modules — "
+        "instances resolve by qualified module path"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if ctx.enclosing_function(node) is not None:
+                yield self.finding(
+                    ctx, node.lineno,
+                    f"class {node.name!r} is local to a function; its "
+                    "instances cannot cross the process pool",
+                    hint="define the class at module level",
+                )

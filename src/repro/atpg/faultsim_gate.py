@@ -28,7 +28,9 @@ class FaultSimResult:
 
 def fill_x(pattern: dict[str, int], inputs: list[str], seed: int = 11) -> dict[str, int]:
     """Complete a partial assignment with seeded pseudo-random values."""
-    rng = random.Random((seed, tuple(sorted(pattern.items()))).__hash__())
+    # string seeds hash via sha512 inside Random — stable across
+    # processes, unlike tuple.__hash__ under PYTHONHASHSEED salting
+    rng = random.Random(f"{seed}:{sorted(pattern.items())}")
     return {pin: pattern.get(pin, rng.randint(0, 1)) for pin in inputs}
 
 

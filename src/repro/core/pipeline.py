@@ -153,7 +153,7 @@ class ParseStil(Stage):
         if not ctx.stil_texts:
             return
         soc = replace(ctx.soc, cores=list(ctx.soc.cores))
-        for name, text in ctx.stil_texts.items():
+        for _name, text in ctx.stil_texts.items():
             extracted = core_from_stil(text)
             replaced = False
             for i, core in enumerate(soc.cores):
@@ -308,7 +308,7 @@ class InsertDft(Stage):
                 bit = port.name[3:]
                 mux_conns[port.name] = f"n_session_sel{bit}"
 
-        for i, (core_name, gen) in enumerate(sorted(ctx.wrappers.items())):
+        for _i, (core_name, gen) in enumerate(sorted(ctx.wrappers.items())):
             wrapper = gen.module
             core = soc.core(core_name)
             port_kind = {p.name: p for p in core.ports}

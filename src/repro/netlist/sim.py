@@ -131,7 +131,7 @@ class Simulator:
                 if out_net is not None:
                     self.values[out_net] = cell.func(*args)
             changed = False
-            for inst, cell in self._latches:
+            for inst, _cell in self._latches:
                 gate = self.values.get(inst.conns.get("G", ""), X)
                 if gate == HIGH:
                     new = self.values.get(inst.conns.get("D", ""), X)

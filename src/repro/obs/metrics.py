@@ -28,20 +28,23 @@ state (the serve layer's job table and result cache).
 from __future__ import annotations
 
 import threading
-from typing import Callable, Iterable, Optional
+from typing import Callable, Iterable, Optional, TypeVar, Union
 
 #: Histogram bucket upper bounds (seconds) — wide enough for a
 #: millisecond pipeline stage and a minutes-long fuzz job alike.
-DEFAULT_BUCKETS = (
+DEFAULT_BUCKETS: tuple[float, ...] = (
     0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
     0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
 )
 
 #: One pulled/extra sample: ``(name, kind, labels-or-None, value)``.
-Sample = tuple[str, str, Optional[dict], float]
+Sample = tuple[str, str, Optional[dict[str, str]], float]
+
+#: A sorted, hashable label set: ``(("backend", "process"), ...)``.
+LabelKey = tuple[tuple[str, str], ...]
 
 
-def _label_key(labels: dict) -> tuple:
+def _label_key(labels: dict[str, str]) -> LabelKey:
     return tuple(sorted(labels.items()))
 
 
@@ -54,18 +57,18 @@ class Counter:
         self.name = name
         self.help = help
         self._lock = threading.Lock()
-        self._samples: dict[tuple, float] = {}
+        self._samples: dict[LabelKey, float] = {}
 
-    def inc(self, n: float = 1, **labels) -> None:
+    def inc(self, n: float = 1, **labels: str) -> None:
         key = _label_key(labels)
         with self._lock:
             self._samples[key] = self._samples.get(key, 0) + n
 
-    def get(self, **labels) -> float:
+    def get(self, **labels: str) -> float:
         with self._lock:
             return self._samples.get(_label_key(labels), 0)
 
-    def samples(self) -> dict[tuple, float]:
+    def samples(self) -> dict[LabelKey, float]:
         with self._lock:
             return dict(self._samples)
 
@@ -79,7 +82,7 @@ class Gauge(Counter):
 
     kind = "gauge"
 
-    def set(self, value: float, **labels) -> None:
+    def set(self, value: float, **labels: str) -> None:
         with self._lock:
             self._samples[_label_key(labels)] = value
 
@@ -89,15 +92,18 @@ class Histogram:
 
     kind = "histogram"
 
-    def __init__(self, name: str, help: str = "", buckets=DEFAULT_BUCKETS):
+    def __init__(
+        self, name: str, help: str = "",
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+    ):
         self.name = name
         self.help = help
         self.buckets = tuple(sorted(buckets))
         self._lock = threading.Lock()
         # label key -> [per-bucket counts..., +Inf count, sum]
-        self._samples: dict[tuple, list[float]] = {}
+        self._samples: dict[LabelKey, list[float]] = {}
 
-    def observe(self, value: float, **labels) -> None:
+    def observe(self, value: float, **labels: str) -> None:
         key = _label_key(labels)
         with self._lock:
             row = self._samples.get(key)
@@ -109,17 +115,17 @@ class Histogram:
             row[-2] += 1  # +Inf == total count
             row[-1] += value
 
-    def count(self, **labels) -> float:
+    def count(self, **labels: str) -> float:
         with self._lock:
             row = self._samples.get(_label_key(labels))
             return row[-2] if row else 0
 
-    def sum(self, **labels) -> float:
+    def sum(self, **labels: str) -> float:
         with self._lock:
             row = self._samples.get(_label_key(labels))
             return row[-1] if row else 0.0
 
-    def samples(self) -> dict[tuple, list[float]]:
+    def samples(self) -> dict[LabelKey, list[float]]:
         with self._lock:
             return {key: list(row) for key, row in self._samples.items()}
 
@@ -149,22 +155,30 @@ def _format_value(value: float) -> str:
     return repr(value)
 
 
+#: Any registered family (Gauge subclasses Counter).
+Metric = Union[Counter, Histogram]
+
+_M = TypeVar("_M", bound=Metric)
+
+
 class MetricsRegistry:
     """Name → metric family table plus registered pull-collectors."""
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._families: dict[str, object] = {}
+        self._families: dict[str, Metric] = {}
         self._collectors: list[Callable[[], Iterable[Sample]]] = []
 
     # -- registration ------------------------------------------------------
 
-    def _register(self, name: str, factory, cls):
+    def _register(
+        self, name: str, factory: Callable[[], _M], cls: type[_M]
+    ) -> _M:
         with self._lock:
             family = self._families.get(name)
             if family is None:
                 family = self._families[name] = factory()
-            elif not isinstance(family, cls):
+            if not isinstance(family, cls):
                 raise ValueError(
                     f"metric {name!r} already registered as {family.kind}"
                 )
@@ -183,7 +197,8 @@ class MetricsRegistry:
         return self._register(name, lambda: Gauge(name, help), Gauge)
 
     def histogram(
-        self, name: str, help: str = "", buckets=DEFAULT_BUCKETS
+        self, name: str, help: str = "",
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
     ) -> Histogram:
         return self._register(
             name, lambda: Histogram(name, help, buckets), Histogram
@@ -197,13 +212,15 @@ class MetricsRegistry:
 
     # -- reads -------------------------------------------------------------
 
-    def value(self, name: str, **labels) -> float:
+    def value(self, name: str, **labels: str) -> float:
         """The current value of a registered counter/gauge sample."""
         with self._lock:
             family = self._families[name]
+        if isinstance(family, Histogram):
+            raise ValueError(f"metric {name!r} is a histogram; use count/sum")
         return family.get(**labels)
 
-    def snapshot(self) -> dict:
+    def snapshot(self) -> dict[str, float]:
         """Every sample (families and collectors) as a flat dict keyed
         by ``name`` or ``name{k=v,...}`` — the test-facing view."""
         out: dict[str, float] = {}
@@ -211,7 +228,7 @@ class MetricsRegistry:
             families = list(self._families.values())
             collectors = list(self._collectors)
         for family in families:
-            if family.kind == "histogram":
+            if isinstance(family, Histogram):
                 for key, row in family.samples().items():
                     suffix = _format_labels(key)
                     out[f"{family.name}_count{suffix}"] = row[-2]
@@ -246,7 +263,7 @@ class MetricsRegistry:
             if family.help:
                 lines.append(f"# HELP {name} {family.help}")
             lines.append(f"# TYPE {name} {family.kind}")
-            if family.kind == "histogram":
+            if isinstance(family, Histogram):
                 for key, row in sorted(family.samples().items()):
                     base = dict(key)
                     for i, bound in enumerate(family.buckets):

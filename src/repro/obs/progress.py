@@ -57,7 +57,7 @@ class JobProgress:
         with self._lock:
             return self._done
 
-    def snapshot(self) -> dict:
+    def snapshot(self) -> dict[str, Optional[int]]:
         """A consistent JSON-native view — the ``progress`` section of
         the serve job document."""
         with self._lock:

@@ -15,13 +15,16 @@ object — no allocation, no clock reads, no lock — so instrumented hot
 paths cost one truthiness check (``bench_sched_search.py`` gates the
 end-to-end overhead at <2%).
 
-Records are plain dicts (``{"id", "parent", "name", "start", "dur",
-"attrs"}``) — picklable and JSON-native by construction — so batch
-process workers can ship their spans back to the parent
+Records are plain dicts (``{"id", "parent", "name", "start", "wall",
+"dur", "attrs"}``) — picklable and JSON-native by construction — so
+batch process workers can ship their spans back to the parent
 (:meth:`Tracer.drain` in the worker, :meth:`Tracer.adopt` in the
 parent, which remaps ids and re-parents worker roots under the batch
-span).  ``start`` is wall-clock (:func:`time.time`) for cross-process
-alignment; ``dur`` comes from :func:`time.perf_counter` deltas.
+span).  ``start`` is :func:`time.monotonic` — never steps backwards,
+and on Linux the clock is shared machine-wide, so worker spans still
+order correctly against parent spans.  ``dur`` comes from
+:func:`time.perf_counter` deltas.  ``wall`` is a display-only wall
+timestamp (when did this run happen?) — nothing orders or diffs by it.
 
 Two consumers read the records:
 
@@ -39,7 +42,7 @@ import itertools
 import json
 import threading
 import time
-from typing import IO, Optional, Union
+from typing import IO, Any, Optional, Union
 
 
 class _NullSpan:
@@ -51,10 +54,10 @@ class _NullSpan:
     def __enter__(self) -> "_NullSpan":
         return self
 
-    def __exit__(self, *exc) -> bool:
+    def __exit__(self, *exc: object) -> bool:
         return False
 
-    def set(self, **attrs) -> "_NullSpan":
+    def set(self, **attrs: Any) -> "_NullSpan":
         return self
 
 
@@ -64,13 +67,15 @@ _NULL_SPAN = _NullSpan()
 class Span:
     """One live timed region; becomes a record dict when it closes."""
 
-    __slots__ = ("_tracer", "name", "attrs", "id", "parent", "_start", "_t0")
+    __slots__ = (
+        "_tracer", "name", "attrs", "id", "parent", "_start", "_wall", "_t0",
+    )
 
     def __init__(
         self,
         tracer: "Tracer",
         name: str,
-        attrs: dict,
+        attrs: dict[str, Any],
         parent: Optional[int] = None,
     ):
         self._tracer = tracer
@@ -79,7 +84,7 @@ class Span:
         self.parent = parent
         self.id: Optional[int] = None
 
-    def set(self, **attrs) -> "Span":
+    def set(self, **attrs: Any) -> "Span":
         """Attach (or overwrite) attributes on the open span."""
         self.attrs.update(attrs)
         return self
@@ -91,16 +96,17 @@ class Span:
             self.parent = stack[-1]
         self.id = next(tracer._ids)
         stack.append(self.id)
-        self._start = time.time()
+        self._start = time.monotonic()
+        self._wall = time.time()  # detlint: ignore[DET002] -- display-only run timestamp; ordering uses the monotonic `start`
         self._t0 = time.perf_counter()
         return self
 
-    def __exit__(self, *exc) -> bool:
+    def __exit__(self, *exc: object) -> bool:
         dur = time.perf_counter() - self._t0
         stack = self._tracer._stack()
         if stack and stack[-1] == self.id:
             stack.pop()
-        else:  # pragma: no cover — unbalanced exit (exception mid-stack)
+        elif self.id is not None:  # pragma: no cover — unbalanced exit
             try:
                 stack.remove(self.id)
             except ValueError:
@@ -110,6 +116,7 @@ class Span:
             "parent": self.parent,
             "name": self.name,
             "start": self._start,
+            "wall": self._wall,
             "dur": dur,
             "attrs": self.attrs,
         })
@@ -126,7 +133,7 @@ class Tracer:
 
     def __init__(self) -> None:
         self._enabled = False
-        self._records: list[dict] = []
+        self._records: list[dict[str, Any]] = []
         self._lock = threading.Lock()
         self._local = threading.local()
         self._ids = itertools.count(1)
@@ -148,13 +155,13 @@ class Tracer:
         with self._lock:
             self._records.clear()
 
-    def _stack(self) -> list:
-        stack = getattr(self._local, "stack", None)
+    def _stack(self) -> list[int]:
+        stack: Optional[list[int]] = getattr(self._local, "stack", None)
         if stack is None:
             stack = self._local.stack = []
         return stack
 
-    def _append(self, record: dict) -> None:
+    def _append(self, record: dict[str, Any]) -> None:
         with self._lock:
             self._records.append(record)
 
@@ -166,7 +173,7 @@ class Tracer:
     # -- span creation -----------------------------------------------------
 
     def span(
-        self, name: str, parent: Optional[int] = None, **attrs
+        self, name: str, parent: Optional[int] = None, **attrs: Any
     ) -> Union[Span, _NullSpan]:
         """A new child span (no-op while disabled).
 
@@ -180,18 +187,20 @@ class Tracer:
 
     # -- record access -----------------------------------------------------
 
-    def records(self) -> list[dict]:
+    def records(self) -> list[dict[str, Any]]:
         """A snapshot copy of every closed span, in completion order."""
         with self._lock:
             return list(self._records)
 
-    def drain(self) -> list[dict]:
+    def drain(self) -> list[dict[str, Any]]:
         """Remove and return every closed span (worker-side shipping)."""
         with self._lock:
             records, self._records = self._records, []
         return records
 
-    def adopt(self, records: list[dict], parent: Optional[int] = None) -> None:
+    def adopt(
+        self, records: list[dict[str, Any]], parent: Optional[int] = None
+    ) -> None:
         """Merge records from another process into this tracer.
 
         Worker-assigned ids collide with local ones, so every record
@@ -226,7 +235,7 @@ class Tracer:
 TRACER = Tracer()
 
 
-def span(name: str, parent: Optional[int] = None, **attrs):
+def span(name: str, parent: Optional[int] = None, **attrs: Any) -> Union[Span, _NullSpan]:
     """A span on the global :data:`TRACER` (no-op while disabled)."""
     return TRACER.span(name, parent=parent, **attrs)
 
@@ -247,7 +256,7 @@ def disable_tracing() -> None:
 # -- replay / aggregation ----------------------------------------------------
 
 
-def load_jsonl(path_or_file: Union[str, IO[str]]) -> list[dict]:
+def load_jsonl(path_or_file: Union[str, IO[str]]) -> list[dict[str, Any]]:
     """Read records back from a ``--trace-out`` JSONL file."""
     if hasattr(path_or_file, "read"):
         lines = path_or_file.read().splitlines()
@@ -257,15 +266,17 @@ def load_jsonl(path_or_file: Union[str, IO[str]]) -> list[dict]:
     return [json.loads(line) for line in lines if line.strip()]
 
 
-def span_tree(records: list[dict]) -> list[dict]:
+def span_tree(records: list[dict[str, Any]]) -> list[dict[str, Any]]:
     """Replay flat records into a nested tree.
 
     Returns the root spans (parent absent from the record set), oldest
     first, each with a ``children`` list in start order.  Every node is
     a copy — the input records are untouched.
     """
-    nodes = {r["id"]: {**r, "children": []} for r in records}
-    roots = []
+    nodes: dict[int, dict[str, Any]] = {
+        r["id"]: {**r, "children": []} for r in records
+    }
+    roots: list[dict[str, Any]] = []
     for record in sorted(records, key=lambda r: r["start"]):
         node = nodes[record["id"]]
         parent = nodes.get(record["parent"])
@@ -276,12 +287,14 @@ def span_tree(records: list[dict]) -> list[dict]:
     return roots
 
 
-def subtree(records: list[dict], root_id: int) -> list[dict]:
+def subtree(
+    records: list[dict[str, Any]], root_id: int
+) -> list[dict[str, Any]]:
     """The records reachable from ``root_id`` (inclusive)."""
-    children: dict[Optional[int], list[dict]] = {}
+    children: dict[Optional[int], list[dict[str, Any]]] = {}
     for record in records:
         children.setdefault(record["parent"], []).append(record)
-    out: list[dict] = []
+    out: list[dict[str, Any]] = []
     frontier = [r for r in records if r["id"] == root_id]
     while frontier:
         record = frontier.pop()
@@ -290,7 +303,9 @@ def subtree(records: list[dict], root_id: int) -> list[dict]:
     return out
 
 
-def summarize(records: list[dict], root_id: int) -> Optional[dict]:
+def summarize(
+    records: list[dict[str, Any]], root_id: int
+) -> Optional[dict[str, Any]]:
     """Fold the subtree under ``root_id`` into a compact aggregate.
 
     Children are grouped by span name at every level: a batch of 100
@@ -303,19 +318,19 @@ def summarize(records: list[dict], root_id: int) -> Optional[dict]:
     by_id = {r["id"]: r for r in records}
     if root_id not in by_id:
         return None
-    kids: dict[Optional[int], list[dict]] = {}
+    kids: dict[Optional[int], list[dict[str, Any]]] = {}
     for record in records:
         kids.setdefault(record["parent"], []).append(record)
 
-    def fold(group: list[dict]) -> dict:
-        node = {
+    def fold(group: list[dict[str, Any]]) -> dict[str, Any]:
+        node: dict[str, Any] = {
             "name": group[0]["name"],
             "count": len(group),
             "seconds": round(sum(r["dur"] for r in group), 6),
         }
         children = [c for r in group for c in kids.get(r["id"], [])]
         if children:
-            grouped: dict[str, list[dict]] = {}
+            grouped: dict[str, list[dict[str, Any]]] = {}
             for child in sorted(children, key=lambda c: c["start"]):
                 grouped.setdefault(child["name"], []).append(child)
             node["children"] = [fold(g) for g in grouped.values()]

@@ -216,7 +216,7 @@ def wrapper_scan_program(
         for t in range(count):
             drive = {**statics, **se_on, "shiftwr": "1"}
             expect = {}
-            for k, chain in enumerate(plan.chains):
+            for k, _chain in enumerate(plan.chains):
                 if loads is not None:
                     stream = loads[k]
                     pad = count - len(stream)

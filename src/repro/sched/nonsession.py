@@ -75,7 +75,7 @@ def schedule_nonsession(
         points.update(wire_free)
         for intervals in tag_busy.values():
             points.update(f for _, f in intervals)
-        for s, f, _ in power.intervals:
+        for _s, f, _ in power.intervals:
             points.add(f)
         return sorted(points)
 

@@ -91,11 +91,11 @@ class Job:
         return self.normalized["kind"]
 
     def mark_started(self) -> None:
-        self.started_at = time.time()
+        self.started_at = time.time()  # detlint: ignore[DET002] -- display checkpoint; durations use the _mono twin
         self.started_mono = time.monotonic()
 
     def mark_finished(self) -> None:
-        self.finished_at = time.time()
+        self.finished_at = time.time()  # detlint: ignore[DET002] -- display checkpoint; durations use the _mono twin
         self.finished_mono = time.monotonic()
         if self.started_at is None:
             # born-terminal paths (cache hit, submit-time failure)
@@ -183,7 +183,7 @@ class JobManager:
         self._queue: queue.Queue = queue.Queue()
         self._counter = 0
         self._closed = False
-        self.started = time.time()
+        self._started_mono = time.monotonic()
         self._threads = [
             threading.Thread(target=self._worker, name=f"serve-worker-{i}", daemon=True)
             for i in range(workers)
@@ -229,7 +229,7 @@ class JobManager:
         normalized, execution = normalize_payload(payload)
         if execution["backend"] is None:
             execution["backend"] = self.default_backend
-        now = time.time()
+        now = time.time()  # detlint: ignore[DET002] -- submitted_at display checkpoint; durations use submitted_mono
         with self._lock:
             if self._closed:
                 raise JobError("server is shutting down; job rejected")
@@ -353,7 +353,7 @@ class JobManager:
 
         doc = {
             "schema": "repro/serve-stats/v1",
-            "uptime_seconds": round(time.time() - self.started, 3),
+            "uptime_seconds": round(time.monotonic() - self._started_mono, 3),
             "workers": len(self._threads),
             "default_backend": self.default_backend or "auto",
             "jobs": {

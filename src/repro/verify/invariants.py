@@ -190,7 +190,7 @@ def _check_accounting(report, soc: Soc, result: ScheduleResult, policy: SharingP
         data_used = max(
             (
                 sum(2 * t.width for t in scan if t.start <= probe < t.finish)
-                for probe in {t.start for t in scan}
+                for probe in sorted({t.start for t in scan})
             ),
             default=0,
         )

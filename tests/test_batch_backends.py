@@ -155,7 +155,9 @@ class TestBackends:
         )
         assert batch.backend == "thread"  # the fallback is visible
         assert batch.ok and len(batch) == 2
-        with pytest.raises(Exception):
+        # CPython raises AttributeError ("Can't pickle local object")
+        # when the pool serializes the spec
+        with pytest.raises((pickle.PicklingError, AttributeError)):
             integrate_many(
                 items, config=quick_config(), workers=2, backend="process"
             )

@@ -1,0 +1,72 @@
+"""Pickle round-trips for every registry entry and pool work unit.
+
+The process-pool backend resolves registry entries in the parent and
+ships them (or the names that resolve to them) to workers, so every
+scheduler, repair allocator, and generation profile must survive
+``pickle.dumps``/``loads`` — statically guarded by detlint's PKL rules,
+dynamically proven here by walking the registries in full.  A new entry
+registered as a lambda or closure fails this test the day it lands, not
+the first time someone runs a process-pool batch.
+"""
+
+import pickle
+
+import pytest
+
+from repro.gen import ScenarioSpec, available_profiles, get_profile
+from repro.repair.registry import available_allocators, get_allocator
+from repro.sched.registry import available_strategies, get_scheduler
+
+
+def _roundtrip(obj):
+    return pickle.loads(pickle.dumps(obj))
+
+
+class TestSchedulerRegistry:
+    def test_registry_is_populated(self):
+        assert available_strategies()
+
+    @pytest.mark.parametrize("name", available_strategies())
+    def test_scheduler_roundtrips(self, name):
+        fn = get_scheduler(name)
+        clone = _roundtrip(fn)
+        # pickle ships functions by qualified name: the clone must
+        # resolve back to the very same registered object
+        assert clone is fn
+
+
+class TestAllocatorRegistry:
+    def test_registry_is_populated(self):
+        assert available_allocators()
+
+    @pytest.mark.parametrize("name", available_allocators())
+    def test_allocator_roundtrips(self, name):
+        fn = get_allocator(name)
+        assert _roundtrip(fn) is fn
+
+
+class TestProfileRegistry:
+    def test_registry_is_populated(self):
+        assert available_profiles()
+
+    @pytest.mark.parametrize("name", available_profiles())
+    def test_profile_roundtrips(self, name):
+        profile = get_profile(name)
+        clone = _roundtrip(profile)
+        # frozen dataclass: value equality is the contract
+        assert clone == profile
+        assert clone.name == name
+
+
+class TestWorkUnits:
+    def test_scenario_spec_roundtrips(self):
+        spec = ScenarioSpec(
+            profile="tiny", seed=7, index=3, test_pins=40, power_budget=900.0
+        )
+        clone = _roundtrip(spec)
+        assert clone == spec
+        assert clone.name == spec.name
+
+    def test_scenario_spec_builds_identically_after_roundtrip(self):
+        spec = ScenarioSpec(profile="tiny", seed=11)
+        assert _roundtrip(spec).build().digest() == spec.build().digest()

@@ -1,0 +1,105 @@
+"""Threaded stress regression for the bounded job table.
+
+``JobManager`` mutates its table from two thread populations at once —
+submitters (HTTP handler threads) and pollers (``/stats``, job GETs) —
+with LRU eviction churning underneath.  Every touch goes through
+``self._lock``, so two invariants must hold in *every* snapshot, not
+just at the end:
+
+* accounting: ``retained + evicted == submitted`` (born-terminal jobs
+  are immediately evictable, so the three counters move atomically);
+* bound: ``retained <= max_jobs + live``.  A submission is inserted
+  (live) before it turns terminal, and live jobs are never evicted, so
+  a snapshot may catch up to one above-cap job per in-flight submitter;
+  once every job is terminal the strict ``max_jobs`` cap must hold.
+
+A lost update (a write outside the lock) shows up as a snapshot where
+the counters disagree or the table overshoots its cap.
+"""
+
+import threading
+
+from repro.serve import JobManager
+
+#: Unparsable soc_text → the job is born ``failed`` (terminal)
+#: synchronously inside ``submit``, so eviction pressure is immediate
+#: and the test never waits on worker scheduling.
+BAD_SOC = {"kind": "integrate", "soc": {"soc_text": "garbage"}}
+
+SUBMITTERS = 8
+JOBS_EACH = 25
+POLLERS = 4
+MAX_JOBS = 8
+
+
+class TestJobManagerStress:
+    def test_concurrent_submit_poll_evict_keeps_counters_consistent(self):
+        manager = JobManager(workers=2, max_jobs=MAX_JOBS)
+        barrier = threading.Barrier(SUBMITTERS + POLLERS)
+        done = threading.Event()
+        snapshots: list[dict] = []
+        submitted_ids: list[list[str]] = [[] for _ in range(SUBMITTERS)]
+        errors: list[BaseException] = []
+
+        def submitter(slot: int) -> None:
+            try:
+                barrier.wait()
+                for _ in range(JOBS_EACH):
+                    job = manager.submit(BAD_SOC)
+                    submitted_ids[slot].append(job.id)
+                    # poll our own job: refreshes LRU order under load
+                    manager.get(job.id)
+            except BaseException as exc:  # pragma: no cover — failure path
+                errors.append(exc)
+
+        def poller(snaps: list[dict]) -> None:
+            try:
+                barrier.wait()
+                while not done.is_set():
+                    snaps.append(manager.stats()["jobs"])
+                    manager.jobs()
+            except BaseException as exc:  # pragma: no cover — failure path
+                errors.append(exc)
+
+        per_poller: list[list[dict]] = [[] for _ in range(POLLERS)]
+        threads = [
+            threading.Thread(target=submitter, args=(i,))
+            for i in range(SUBMITTERS)
+        ] + [
+            threading.Thread(target=poller, args=(per_poller[i],))
+            for i in range(POLLERS)
+        ]
+        try:
+            for thread in threads:
+                thread.start()
+            for thread in threads[:SUBMITTERS]:
+                thread.join(timeout=60)
+            done.set()
+            for thread in threads[SUBMITTERS:]:
+                thread.join(timeout=60)
+            assert not any(thread.is_alive() for thread in threads)
+            assert errors == []
+
+            for snaps in per_poller:
+                snapshots.extend(snaps)
+            assert snapshots, "pollers never observed the table"
+            for snap in snapshots:
+                assert snap["retained"] + snap["evicted"] == snap["submitted"], snap
+                assert snap["retained"] <= MAX_JOBS + SUBMITTERS, snap
+
+            total = SUBMITTERS * JOBS_EACH
+            final = manager.stats()["jobs"]
+            assert final["submitted"] == total
+            assert final["retained"] + final["evicted"] == total
+            assert final["retained"] <= MAX_JOBS
+
+            # every submitter saw a unique job id — no cross-thread
+            # collisions in the id counter
+            all_ids = [job_id for ids in submitted_ids for job_id in ids]
+            assert len(all_ids) == total
+            assert len(set(all_ids)) == total
+
+            # the survivors are exactly the most recently touched jobs
+            assert len(manager.jobs()) == final["retained"]
+        finally:
+            manager.close()

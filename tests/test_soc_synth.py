@@ -71,6 +71,6 @@ def test_property_nonsession_sound_or_infeasible(seed):
         by_core.setdefault(t.task.core_name, []).append((t.start, t.finish))
     for intervals in by_core.values():
         intervals.sort()
-        for (s1, f1), (s2, f2) in zip(intervals, intervals[1:]):
+        for (_s1, f1), (s2, _f2) in zip(intervals, intervals[1:]):
             assert f1 <= s2
     assert result.total_time == max(t.finish for t in tests)

@@ -150,7 +150,7 @@ class TestControllerNetlist:
         assert sim.get("selectwir") == LOW
         # walk the remaining sessions
         n = len(dsc_schedule.sessions)
-        for s in range(n - 1):
+        for _s in range(n - 1):
             sim.poke("next_session", HIGH)
             sim.clock("tck")
             sim.poke("next_session", LOW)
